@@ -1,0 +1,30 @@
+"""Bus-latency sensitivity and trip-count crossover."""
+
+from repro.experiments.amortization import (
+    format_amortization,
+    run_bus_sweep,
+    run_trip_crossover,
+)
+
+from benchmarks.conftest import emit
+
+
+def test_amortization(benchmark, results_dir):
+    def run():
+        return run_bus_sweep(), run_trip_crossover()
+
+    bus_points, crossover = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(results_dir, "amortization",
+         format_amortization(bus_points, crossover))
+    by_bus = {p.bus_latency: p.mean_speedup for p in bus_points}
+    # The paper's claim: a 10-cycle bus is "largely irrelevant" — even
+    # 20x that latency costs the streaming suite under ~10%.
+    assert by_bus[200] > 0.88 * by_bus[10]
+    assert by_bus[50] > 0.97 * by_bus[10]
+    # But per-invocation overhead is real for short loops: break-even
+    # trip count grows with bus latency.
+    breaks = [r.break_even_trips for r in crossover]
+    assert all(b is not None for b in breaks)
+    assert breaks == sorted(breaks)
+    # Long-trip invocations always win decisively.
+    assert all(r.speedups[-1] > 3.0 for r in crossover)

@@ -1,0 +1,18 @@
+"""Sections 3.2 / 4.3: die-area comparison table."""
+
+from repro.experiments.design_point import format_area_table, run_area_table
+
+from benchmarks.conftest import emit
+
+
+def test_area_table(benchmark, results_dir):
+    rows = benchmark.pedantic(run_area_table, rounds=1, iterations=1)
+    emit(results_dir, "area_table", format_area_table(rows))
+    table = dict(rows)
+    la = float(table["loop accelerator (proposed)"])
+    arm = float(table["ARM11 (1-issue baseline)"])
+    a8 = float(table["Cortex-A8 (2-issue)"])
+    quad = float(table["hypothetical 4-issue"])
+    # ARM11 + LA (~8.1 mm^2) undercuts both wider cores.
+    assert la + arm < a8
+    assert la + arm < quad

@@ -1,0 +1,18 @@
+"""Section 3.2: proposed design point (83% of infinite, 3.8 mm^2)."""
+
+from repro.experiments.design_point import (
+    format_design_point,
+    run_design_point,
+)
+
+from benchmarks.conftest import emit
+
+
+def test_design_point(benchmark, results_dir):
+    result = benchmark.pedantic(run_design_point, rounds=1, iterations=1)
+    emit(results_dir, "design_point", format_design_point(result))
+    benchmark.extra_info["fraction_of_infinite"] = \
+        result.fraction_of_infinite
+    benchmark.extra_info["area_mm2"] = result.la_area_mm2
+    assert 0.6 <= result.fraction_of_infinite <= 0.95   # paper: 0.83
+    assert abs(result.la_area_mm2 - 3.8) < 0.2           # paper: 3.8

@@ -1,0 +1,18 @@
+"""Figure 2: execution-time coverage by loop category."""
+
+from repro.experiments.fig2_coverage import format_coverage, run_coverage
+
+from benchmarks.conftest import emit
+
+
+def test_fig2_coverage(benchmark, results_dir):
+    rows = benchmark.pedantic(run_coverage, rounds=1, iterations=1)
+    emit(results_dir, "fig2_coverage", format_coverage(rows))
+    media = [r.modulo for r in rows if r.suite in ("mediabench", "specfp")]
+    spec = [r.modulo for r in rows if r.suite == "specint"]
+    benchmark.extra_info["media_modulo_mean"] = sum(media) / len(media)
+    benchmark.extra_info["specint_modulo_mean"] = sum(spec) / len(spec)
+    # Paper shape: the accelerator's targets live on the left of the
+    # figure with most time modulo schedulable.
+    assert sum(media) / len(media) > 0.75
+    assert sum(spec) / len(spec) < 0.30

@@ -1,0 +1,24 @@
+"""Figure 3(a): fraction of infinite-resource speedup vs function units."""
+
+from repro.experiments.sweeps import format_series, run_fu_sweep
+
+from benchmarks.conftest import emit
+
+
+def test_fig3a_function_units(benchmark, results_dir):
+    series = benchmark.pedantic(run_fu_sweep, rounds=1, iterations=1)
+    emit(results_dir, "fig3a_function_units",
+         format_series("Figure 3(a): function unit sweep", series))
+    by_label = {s.label: s for s in series}
+    no_cca = by_label["IEx (no CCA)"]
+    with_cca = by_label["IEx (1 CCA)"]
+    fex = by_label["FEx"]
+    # "when one CCA is added to the LA, the required number of integer
+    # units drops dramatically" — at 2 IEx the CCA line must be higher.
+    assert with_cca.fractions[1] > no_cca.fractions[1]
+    # "the point of diminishing returns for integer units is very high,
+    # on the order of 24 units" — still improving at 12 -> 24.
+    i12, i24 = no_cca.xs.index(12), no_cca.xs.index(24)
+    assert no_cca.fractions[i24] > no_cca.fractions[i12] - 1e-9
+    # "very few floating-point units were needed".
+    assert fex.fractions[0] > 0.8

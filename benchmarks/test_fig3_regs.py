@@ -1,0 +1,20 @@
+"""Figure 3(b): fraction of infinite-resource speedup vs registers."""
+
+from repro.experiments.sweeps import format_series, run_register_sweep
+
+from benchmarks.conftest import emit
+
+
+def test_fig3b_registers(benchmark, results_dir):
+    series = benchmark.pedantic(run_register_sweep, rounds=1, iterations=1)
+    emit(results_dir, "fig3b_registers",
+         format_series("Figure 3(b): register sweep", series))
+    for line in series:
+        # Monotone non-decreasing, saturating at 1.0 — "overall, few
+        # registers are needed to support the majority of important
+        # loops".
+        for earlier, later in zip(line.fractions, line.fractions[1:]):
+            assert later >= earlier - 1e-9
+        assert line.fractions[-1] > 0.99
+        sixteen = line.fractions[line.xs.index(16)]
+        assert sixteen > 0.9

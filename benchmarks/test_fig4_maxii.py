@@ -1,0 +1,16 @@
+"""Figure 4(b): fraction of infinite-resource speedup vs maximum II."""
+
+from repro.experiments.sweeps import format_series, run_max_ii_sweep
+
+from benchmarks.conftest import emit
+
+
+def test_fig4b_max_ii(benchmark, results_dir):
+    series = benchmark.pedantic(run_max_ii_sweep, rounds=1, iterations=1)
+    emit(results_dir, "fig4b_max_ii",
+         format_series("Figure 4(b): maximum II sweep", series))
+    line = series[0]
+    for earlier, later in zip(line.fractions, line.fractions[1:]):
+        assert later >= earlier - 1e-9
+    # The proposed design's max II of 16 captures nearly everything.
+    assert line.fractions[line.xs.index(16)] > 0.95

@@ -1,0 +1,20 @@
+"""Figure 4(a): fraction of infinite-resource speedup vs memory streams."""
+
+from repro.experiments.sweeps import format_series, run_stream_sweep
+
+from benchmarks.conftest import emit
+
+
+def test_fig4a_streams(benchmark, results_dir):
+    series = benchmark.pedantic(run_stream_sweep, rounds=1, iterations=1)
+    emit(results_dir, "fig4a_streams",
+         format_series("Figure 4(a): memory stream sweep", series))
+    loads = next(s for s in series if s.label == "load streams")
+    stores = next(s for s in series if s.label == "store streams")
+    # "As would be expected, loads are more important than stores":
+    # few load streams cost more than few store streams.
+    assert loads.fractions[loads.xs.index(2)] < \
+        stores.fractions[stores.xs.index(2)]
+    # The proposed 16-load / 8-store point is near saturation.
+    assert loads.fractions[loads.xs.index(16)] > 0.95
+    assert stores.fractions[stores.xs.index(8)] > 0.95

@@ -1,0 +1,24 @@
+"""Figure 6: speedup vs translation overhead x retranslation frequency."""
+
+from repro.experiments.fig6_overhead import (
+    OVERHEAD_POINTS,
+    format_overhead,
+    run_overhead_sweep,
+)
+
+from benchmarks.conftest import emit
+
+
+def test_fig6_overhead(benchmark, results_dir):
+    series = benchmark.pedantic(run_overhead_sweep, rounds=1, iterations=1)
+    emit(results_dir, "fig6_overhead", format_overhead(series))
+    once = next(s for s in series if s.miss_rate == 0.0)
+    pct10 = next(s for s in series if s.miss_rate == 0.10)
+    i20k = OVERHEAD_POINTS.index(20_000)
+    i100k = OVERHEAD_POINTS.index(100_000)
+    # "lowering the overhead [from 100k] to 20,000 cycles increases the
+    # speedup" — substantially, on every line.
+    for line in series:
+        assert line.mean_speedups[i20k] > line.mean_speedups[i100k] * 1.2
+    # Paying the penalty on 10% of invocations is far worse than once.
+    assert pct10.mean_speedups[i100k] < once.mean_speedups[i100k]

@@ -1,0 +1,21 @@
+"""Figure 7: speedup retained without static loop transformations."""
+
+from repro.experiments.common import arithmetic_mean
+from repro.experiments.fig7_transforms import (
+    format_transforms,
+    run_transform_comparison,
+)
+
+from benchmarks.conftest import emit
+
+
+def test_fig7_transforms(benchmark, results_dir):
+    rows = benchmark.pedantic(run_transform_comparison, rounds=1,
+                              iterations=1)
+    emit(results_dir, "fig7_transforms", format_transforms(rows))
+    fractions = [r.fraction for r in rows]
+    mean = arithmetic_mean(fractions)
+    benchmark.extra_info["mean_fraction_retained"] = mean
+    # Paper: ~25% retained on average, with many benchmarks at 0.
+    assert mean < 0.4
+    assert sum(1 for f in fractions if f < 0.05) >= 4

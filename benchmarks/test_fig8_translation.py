@@ -1,0 +1,29 @@
+"""Figure 8: measured translation penalty per loop, per phase."""
+
+from repro.experiments.fig8_translation import (
+    format_translation,
+    run_translation_profile,
+    suite_average,
+)
+
+from benchmarks.conftest import emit
+
+
+def test_fig8_translation(benchmark, results_dir):
+    profiles = benchmark.pedantic(run_translation_profile, rounds=1,
+                                  iterations=1)
+    emit(results_dir, "fig8_translation", format_translation(profiles))
+    avg = suite_average(profiles)
+    total = sum(avg.values())
+    benchmark.extra_info["avg_instructions_per_loop"] = total
+    # Paper anchors: ~99,716 total; priority 69%; CCA 20%;
+    # ResMII+RecMII ~1,250; scheduling+regalloc ~9,650.
+    assert abs(total - 99_716) / 99_716 < 0.15
+    assert abs(avg["priority"] / total - 0.69) < 0.05
+    assert abs(avg["cca"] / total - 0.20) < 0.05
+    assert avg["resmii"] + avg["recmii"] < 3_000
+    assert avg["scheduling"] / total < 0.05
+    # Per-benchmark variance is real: "average loop translation time
+    # varies widely from benchmark to benchmark".
+    totals = [p.avg_instructions for p in profiles]
+    assert max(totals) > 3 * min(totals)

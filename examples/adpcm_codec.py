@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Domain scenario: an ADPCM voice codec under the co-designed VM.
+
+The paper's rawcaudio/rawdaudio benchmarks are an ADPCM encoder and
+decoder.  This example runs the encode kernel and the decode kernel as
+one application under four system configurations and prints the
+whole-application accounting the VM produces — including the
+translation overheads that motivate the hybrid static/dynamic design.
+
+Run:  python examples/adpcm_codec.py
+"""
+
+from repro import ARM11, PROPOSED_LA, TranslationOptions, VMConfig, VirtualMachine
+from repro.experiments.common import annotate_benchmark, format_table
+from repro.workloads.kernels import adpcm_decode, adpcm_encode
+from repro.workloads.suite import Benchmark
+
+
+def make_codec_benchmark() -> Benchmark:
+    return Benchmark(
+        name="adpcm_codec",
+        suite="example",
+        kernels=[
+            adpcm_encode(trip_count=2048, invocations=48, name="encode"),
+            adpcm_decode(trip_count=2048, invocations=48, name="decode"),
+        ],
+        acyclic_fraction=0.05,
+    )
+
+
+CONFIGS = [
+    ("scalar ARM11 (no accelerator)",
+     VMConfig(cpu=ARM11, accelerator=None), False),
+    ("VEAL, no translation penalty",
+     VMConfig(cpu=ARM11, accelerator=PROPOSED_LA,
+              charge_translation=False), False),
+    ("VEAL, fully dynamic translation",
+     VMConfig(cpu=ARM11, accelerator=PROPOSED_LA,
+              options=TranslationOptions.fully_dynamic()), False),
+    ("VEAL, static CCA + priority (hybrid)",
+     VMConfig(cpu=ARM11, accelerator=PROPOSED_LA,
+              options=TranslationOptions.hybrid()), True),
+]
+
+
+def main() -> None:
+    bench = make_codec_benchmark()
+    baseline_cycles = None
+    rows = []
+    for label, config, needs_annotations in CONFIGS:
+        this_bench = annotate_benchmark(bench) if needs_annotations else bench
+        run = VirtualMachine(config).run_benchmark(this_bench)
+        if baseline_cycles is None:
+            baseline_cycles = run.total_cycles
+        rows.append((
+            label,
+            f"{run.total_cycles:,.0f}",
+            f"{run.translation_cycle_total:,.0f}",
+            f"{baseline_cycles / run.total_cycles:.2f}x",
+        ))
+    print(format_table(
+        ["configuration", "total cycles", "translation cycles", "speedup"],
+        rows, title="ADPCM codec (encode + decode, 48 frames of 2048)"))
+
+    # Per-loop details for the hybrid configuration.
+    config = CONFIGS[3][1]
+    run = VirtualMachine(config).run_benchmark(annotate_benchmark(bench))
+    print()
+    print(format_table(
+        ["loop", "II", "stages", "scalar cyc/frame", "accel cyc/frame",
+         "loop speedup"],
+        [(o.name, o.ii, o.stage_count,
+          f"{o.scalar_cycles_per_invocation:,.0f}",
+          f"{o.accel_cycles_per_invocation:,.0f}",
+          f"{o.loop_speedup:.2f}x") for o in run.outcomes],
+        title="Per-loop detail (hybrid mode)"))
+
+
+if __name__ == "__main__":
+    main()

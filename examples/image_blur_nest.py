@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Domain scenario: a 2D image blur as a loop nest.
+
+The accelerator handles innermost loops; a 2D filter is an outer loop
+re-invoking the accelerated row kernel, paying the bus/register-file
+synchronisation once per row.  This example blurs an image both ways,
+verifies the pixels match exactly, and shows how the nest's *shape*
+(rows x columns for the same pixel count) moves the speedup — the
+amortization tradeoff a runtime's hot-loop heuristics must respect.
+
+Run:  python examples/image_blur_nest.py
+"""
+
+import numpy as np
+
+from repro import ARM11, PROPOSED_LA
+from repro.accelerator import LoopAccelerator
+from repro.cpu import InOrderPipeline, Memory
+from repro.experiments.common import format_table
+from repro.ir import LoopBuilder, Reg
+from repro.ir.nest import LoopNest, execute_nest_accelerated, execute_nest_scalar
+from repro.vm import translate_loop
+
+
+def row_blur_kernel(cols: int, pitch: int, rows: int):
+    b = LoopBuilder("row_blur", trip_count=cols)
+    src = b.array("img", length=(rows + 1) * pitch)
+    dst = b.array("out", length=(rows + 1) * pitch)
+    i = b.counter()
+    base = b.add(src, i)
+    s = b.add(b.add(b.load(base, 0), b.load(base, 1)), b.load(base, 2))
+    # divide by 3 via the classic multiply-shift (85/256 ~= 1/3)
+    b.store(b.add(dst, i), b.shr(b.mul(s, 85), 8))
+    return b.finish()
+
+
+def run_shape(rows: int, cols: int):
+    pitch = cols + 2
+    inner = row_blur_kernel(cols, pitch, rows)
+    nest = LoopNest(name=f"blur_{rows}x{cols}", inner=inner,
+                    outer_trips=rows,
+                    live_in_steps={Reg("img"): pitch, Reg("out"): pitch})
+    result = translate_loop(inner, PROPOSED_LA)
+    assert result.ok, result.failure
+
+    def fresh():
+        mem = Memory()
+        mem.allocate_arrays(inner.arrays)
+        rng = np.random.default_rng(9)
+        mem.write_array("img", [int(v) for v in
+                                rng.integers(0, 256, (rows + 1) * pitch)])
+        return mem, {Reg("img"): mem.base_of("img"),
+                     Reg("out"): mem.base_of("out"), Reg("i"): 0}
+
+    mem_s, live_s = fresh()
+    scalar = execute_nest_scalar(nest, mem_s, live_s,
+                                 InOrderPipeline(ARM11))
+    mem_a, live_a = fresh()
+    accel = execute_nest_accelerated(nest, result.image,
+                                     LoopAccelerator(PROPOSED_LA),
+                                     mem_a, live_a)
+    assert mem_s.snapshot() == mem_a.snapshot(), "pixel mismatch!"
+    return scalar.cycles, accel.cycles, result.image.ii
+
+
+def main() -> None:
+    shapes = [(256, 16), (64, 64), (16, 256), (4, 1024)]
+    rows = []
+    for r, c in shapes:
+        scalar, accel, ii = run_shape(r, c)
+        rows.append((f"{r} x {c}", f"{scalar:,.0f}", f"{accel:,.0f}",
+                     f"{scalar / accel:.2f}x", ii))
+    print(format_table(
+        ["image shape (rows x cols)", "scalar cycles", "accel cycles",
+         "speedup", "inner II"],
+        rows,
+        title="2D blur: same 4096 pixels, different nest shapes "
+              "(pixels verified identical)"))
+    print("\nWide images amortise the per-row invocation overhead; tall "
+          "skinny ones pay it 64x more often.")
+
+
+if __name__ == "__main__":
+    main()

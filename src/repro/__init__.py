@@ -1,0 +1,55 @@
+"""VEAL: Virtualized Execution Accelerator for Loops — full reproduction.
+
+Reproduces Clark, Hormati & Mahlke, ISCA 2008: a generalized loop
+accelerator plus a co-designed virtual machine that dynamically modulo
+schedules baseline-ISA loops onto whatever accelerator is present.
+
+Quick start::
+
+    from repro import PROPOSED_LA, translate_loop
+    from repro.workloads import kernels
+
+    loop = kernels.fir_filter(taps=8)
+    result = translate_loop(loop, PROPOSED_LA)
+    print(result.image.ii, result.image.stage_count)
+
+Package map:
+    ``repro.ir``          — baseline RISC IR, DFG, CFG, loop builder
+    ``repro.analysis``    — streams, partitioning, schedulability, SCCs
+    ``repro.transform``   — static transforms (fission, if-conversion, ...)
+    ``repro.cca``         — CCA model + greedy subgraph mapper
+    ``repro.scheduler``   — Swing modulo scheduling, MII, registers
+    ``repro.accelerator`` — the loop accelerator machine + area model
+    ``repro.cpu``         — scalar interpreter and in-order timing models
+    ``repro.isa``         — binary encoding + Figure 9 annotations
+    ``repro.vm``          — the co-designed VM (translator, code cache)
+    ``repro.workloads``   — kernels, benchmark suite, loop generator
+    ``repro.experiments`` — one module per paper figure/table
+"""
+
+from repro.accelerator import (
+    INFINITE_LA,
+    KernelImage,
+    LAConfig,
+    LoopAccelerator,
+    PROPOSED_LA,
+    accelerator_area,
+)
+from repro.cpu import ARM11, CORTEX_A8, QUAD_ISSUE, Interpreter, Memory
+from repro.ir import Loop, LoopBuilder, Opcode, build_dfg
+from repro.vm import (
+    TranslationOptions,
+    VMConfig,
+    VirtualMachine,
+    translate_loop,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARM11", "CORTEX_A8", "INFINITE_LA", "Interpreter", "KernelImage",
+    "LAConfig", "Loop", "LoopAccelerator", "LoopBuilder", "Memory",
+    "Opcode", "PROPOSED_LA", "QUAD_ISSUE", "TranslationOptions",
+    "VMConfig", "VirtualMachine", "accelerator_area", "build_dfg",
+    "translate_loop",
+]

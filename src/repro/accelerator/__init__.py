@@ -1,0 +1,30 @@
+"""Loop accelerator: configuration, structural models, machine, area."""
+
+from repro.accelerator.addrgen import (
+    AddressGenerator,
+    ResolvedStream,
+    distribute_streams,
+    resolve_pattern,
+)
+from repro.accelerator.area import AreaBreakdown, accelerator_area
+from repro.accelerator.config import INFINITE_LA, LAConfig, PROPOSED_LA, UNBOUNDED
+from repro.accelerator.fifo import StreamFIFO
+from repro.accelerator.machine import (
+    AcceleratorFault,
+    AcceleratorRun,
+    KernelImage,
+    LoopAccelerator,
+)
+from repro.accelerator.pipeline_executor import (
+    OverlappedRun,
+    execute_overlapped,
+)
+from repro.accelerator.regfile import RegisterFile
+
+__all__ = [
+    "AcceleratorFault", "AcceleratorRun", "AddressGenerator",
+    "AreaBreakdown", "INFINITE_LA", "KernelImage", "LAConfig",
+    "LoopAccelerator", "OverlappedRun", "PROPOSED_LA", "RegisterFile",
+    "ResolvedStream", "StreamFIFO", "UNBOUNDED", "accelerator_area",
+    "distribute_streams", "execute_overlapped", "resolve_pattern",
+]

@@ -1,0 +1,107 @@
+"""Loop accelerator configuration space.
+
+Section 3.2's proposed generalized design: "1 CCA, 2 integer units, 2
+double-precision floating-point units, 16 floating-point and integer
+registers, 16 load memory streams (time-multiplexed among 4 address
+generators), 8 store memory streams (time-multiplexed among 2 address
+generators), and a maximum II of 16.  This is sufficient for attaining
+83% of the speedup possible using a hypothetical loop accelerator with
+infinite resources."
+
+The design-space experiments (Figures 3 and 4) sweep each field
+individually against :data:`INFINITE_LA`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cca.model import CCAConfig, DEFAULT_CCA
+from repro.scheduler.mii import CCA_UNIT, FP_UNIT, INT_UNIT, LOAD_GEN, STORE_GEN
+
+#: Stand-in for "unbounded" in the infinite-resource baseline.
+UNBOUNDED = 1 << 20
+
+
+@dataclass(frozen=True)
+class LAConfig:
+    """Parameters of one loop accelerator instance.
+
+    Attributes:
+        num_int_units: Integer FUs (execute arith/logic/shift/mul).
+        num_fp_units: Fully pipelined double-precision FUs.
+        num_ccas: CCA instances (0 disables CCA mapping).
+        cca: Shape of each CCA.
+        num_int_regs / num_fp_regs: Register file capacities for
+            live-ins, live-outs, constants and cross-stage temporaries.
+        load_streams / store_streams: Maximum distinct reference
+            patterns per direction.
+        load_addr_gens / store_addr_gens: Address generators the streams
+            are time-multiplexed onto; these bound memory issue slots
+            per cycle (footnote 2: streams != memory ports).
+        max_ii: Control-store depth — "each FU needs to be able to
+            execute II different instructions, and thus maximum
+            supported II determines the size of the control structure."
+        bus_latency: System-bus cycles for processor<->LA transfers
+            (fixed 10 cycles in the paper, same as L2 access).
+        code_cache_entries: Translated loops retained by the VM's
+            software code cache (16 in Section 4.3, ~48 KB).
+        supports_speculation: Hardware support for speculative memory
+            accesses, enabling while-loops and loops with side exits
+            [21, 24].  The paper precludes this "to minimize the
+            architectural impact outside the accelerator itself"
+            (Section 2.2); the flag exists so the cost of that decision
+            can be measured (see ``repro.experiments.speculation``).
+    """
+
+    name: str = "LA"
+    num_int_units: int = 2
+    num_fp_units: int = 2
+    num_ccas: int = 1
+    cca: CCAConfig = DEFAULT_CCA
+    num_int_regs: int = 16
+    num_fp_regs: int = 16
+    load_streams: int = 16
+    store_streams: int = 8
+    load_addr_gens: int = 4
+    store_addr_gens: int = 2
+    max_ii: int = 16
+    bus_latency: int = 10
+    code_cache_entries: int = 16
+    supports_speculation: bool = False
+
+    def units(self) -> dict[str, int]:
+        """Resource pools in the scheduler's vocabulary."""
+        return {
+            INT_UNIT: self.num_int_units,
+            FP_UNIT: self.num_fp_units,
+            CCA_UNIT: self.num_ccas,
+            LOAD_GEN: self.load_addr_gens,
+            STORE_GEN: self.store_addr_gens,
+        }
+
+    def with_(self, **changes) -> "LAConfig":
+        """A copy with *changes* applied (for design-space sweeps)."""
+        return replace(self, **changes)
+
+
+#: The generalized design proposed in Section 3.2.
+PROPOSED_LA = LAConfig(name="VEAL-proposed")
+
+#: The infinite-resource baseline of the design space exploration:
+#: "loops are modulo scheduled onto a machine with unlimited registers,
+#: FUs, memory ports, etc."  No CCA — the infinite machine has unlimited
+#: plain integer units, which subsume it.
+INFINITE_LA = LAConfig(
+    name="infinite",
+    num_int_units=UNBOUNDED,
+    num_fp_units=UNBOUNDED,
+    num_ccas=0,
+    num_int_regs=UNBOUNDED,
+    num_fp_regs=UNBOUNDED,
+    load_streams=UNBOUNDED,
+    store_streams=UNBOUNDED,
+    load_addr_gens=UNBOUNDED,
+    store_addr_gens=UNBOUNDED,
+    max_ii=UNBOUNDED,
+)

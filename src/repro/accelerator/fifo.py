@@ -1,0 +1,59 @@
+"""FIFO buffers between the memory streams and the function units.
+
+"When data is streamed in from the memory system, it is placed in FIFOs
+that are accessed by function units." (Section 2.1.)  The machine model
+uses one input FIFO per load stream and one output FIFO per store
+stream; occupancy statistics let tests confirm the decoupling actually
+buffers data ahead of the compute pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cpu.memory import Value
+
+
+class StreamFIFO:
+    """A bounded FIFO carrying one stream's elements."""
+
+    def __init__(self, stream_id: int, capacity: int = 8) -> None:
+        self.stream_id = stream_id
+        self.capacity = capacity
+        self._queue: deque[Value] = deque()
+        self.max_occupancy = 0
+        self.pushes = 0
+        self.pops = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def push(self, value: Value) -> None:
+        if self.full:
+            raise OverflowError(
+                f"stream {self.stream_id}: FIFO overflow (capacity "
+                f"{self.capacity})")
+        self._queue.append(value)
+        self.pushes += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._queue))
+
+    def pop(self) -> Value:
+        if self.empty:
+            raise IndexError(f"stream {self.stream_id}: FIFO underflow")
+        self.pops += 1
+        return self._queue.popleft()
+
+    def peek(self) -> Value:
+        if self.empty:
+            raise IndexError(f"stream {self.stream_id}: FIFO underflow")
+        return self._queue[0]

@@ -1,0 +1,52 @@
+"""The accelerator's memory-mapped register file.
+
+"Input data that is not streamed into the accelerator, such as constants
+or scalar inputs, are written into a register file.  Typically, this
+register file is memory mapped and must be initialized before invoking
+the accelerator." (Section 2.1.)  Scalar outputs "are read directly from
+the memory mapped register file upon loop completion" (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+Value = Union[int, float]
+
+
+class RegisterFile:
+    """A fixed-capacity register file with write/read accounting."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        self.name = name
+        self.capacity = capacity
+        self._values: dict[int, Value] = {}
+        self.writes = 0
+        self.reads = 0
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.capacity:
+            raise IndexError(
+                f"{self.name} register index {index} out of range "
+                f"(capacity {self.capacity})")
+
+    def write(self, index: int, value: Value) -> None:
+        self._check(index)
+        self._values[index] = value
+        self.writes += 1
+
+    def read(self, index: int) -> Value:
+        self._check(index)
+        self.reads += 1
+        return self._values.get(index, 0)
+
+    def initialize(self, values: dict[int, Value]) -> int:
+        """Memory-mapped initialisation before invocation.
+
+        Returns the number of bus writes performed, which the timing
+        model charges against the system bus.
+        """
+        for index, value in values.items():
+            self.write(index, value)
+        return len(values)

@@ -1,0 +1,32 @@
+"""Loop analyses: SCCs, streams, partitioning, schedulability."""
+
+from repro.analysis.dependence import refine_memory_edges
+from repro.analysis.linexpr import LinExpr, Symbol, symbol_of, try_mul
+from repro.analysis.partition import (
+    LoopPartition,
+    OFFLOADABLE_OPCODES,
+    partition_loop,
+)
+from repro.analysis.scc import (
+    condensation,
+    nontrivial_sccs,
+    strongly_connected_components,
+)
+from repro.analysis.schedulability import (
+    LoopCategory,
+    SchedulabilityReport,
+    check_schedulability,
+)
+from repro.analysis.streams import (
+    StreamAnalysis,
+    StreamPattern,
+    analyze_streams,
+)
+
+__all__ = [
+    "LinExpr", "LoopCategory", "LoopPartition", "OFFLOADABLE_OPCODES",
+    "SchedulabilityReport", "StreamAnalysis", "StreamPattern", "Symbol",
+    "analyze_streams", "check_schedulability", "condensation",
+    "nontrivial_sccs", "partition_loop", "refine_memory_edges",
+    "strongly_connected_components", "symbol_of", "try_mul",
+]

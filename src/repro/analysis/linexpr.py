@@ -1,0 +1,89 @@
+"""Symbolic linear expressions over loop registers.
+
+Address-stream detection (Section 2.1: address patterns "typically follow
+a simple, deterministic pattern (often based on the loop's induction
+variable(s))") needs to decide whether each memory address is an affine
+function of iteration-start register values.  :class:`LinExpr` represents
+``const + sum(coeff_i * sym_i)`` where each symbol is "the value register
+R holds at the start of an iteration".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.ops import Reg
+
+Symbol = tuple[str, str]  # (register space, register name)
+
+
+def symbol_of(reg: Reg) -> Symbol:
+    return (reg.space, reg.name)
+
+
+@dataclass(frozen=True)
+class LinExpr:
+    """An affine combination of iteration-start register values."""
+
+    const: int = 0
+    terms: tuple[tuple[Symbol, int], ...] = ()
+
+    @staticmethod
+    def constant(value: int) -> "LinExpr":
+        return LinExpr(const=value)
+
+    @staticmethod
+    def of(reg: Reg) -> "LinExpr":
+        return LinExpr(terms=((symbol_of(reg), 1),))
+
+    @staticmethod
+    def _normalise(terms: dict[Symbol, int]) -> tuple[tuple[Symbol, int], ...]:
+        return tuple(sorted((s, c) for s, c in terms.items() if c != 0))
+
+    def _term_dict(self) -> dict[Symbol, int]:
+        return dict(self.terms)
+
+    def __add__(self, other: "LinExpr") -> "LinExpr":
+        terms = self._term_dict()
+        for sym, coeff in other.terms:
+            terms[sym] = terms.get(sym, 0) + coeff
+        return LinExpr(self.const + other.const, self._normalise(terms))
+
+    def __sub__(self, other: "LinExpr") -> "LinExpr":
+        return self + other.scaled(-1)
+
+    def scaled(self, factor: int) -> "LinExpr":
+        return LinExpr(self.const * factor,
+                       self._normalise({s: c * factor for s, c in self.terms}))
+
+    def shifted_left(self, amount: int) -> "LinExpr":
+        return self.scaled(1 << amount)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def coefficient(self, sym: Symbol) -> int:
+        return dict(self.terms).get(sym, 0)
+
+    def symbols(self) -> set[Symbol]:
+        return {s for s, _ in self.terms}
+
+    def __str__(self) -> str:
+        parts = [str(self.const)] if self.const or not self.terms else []
+        for (space, name), coeff in self.terms:
+            prefix = "" if coeff == 1 else f"{coeff}*"
+            parts.append(f"{prefix}%{name}")
+        return " + ".join(parts) if parts else "0"
+
+
+def try_mul(a: Optional[LinExpr], b: Optional[LinExpr]) -> Optional[LinExpr]:
+    """Product, defined only when at least one side is constant."""
+    if a is None or b is None:
+        return None
+    if a.is_constant:
+        return b.scaled(a.const)
+    if b.is_constant:
+        return a.scaled(b.const)
+    return None

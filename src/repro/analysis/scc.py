@@ -1,0 +1,11 @@
+"""Re-export of the SCC algorithms (kept under :mod:`repro.ir.graphalgo`
+to avoid an import cycle: the DFG needs SCCs for recurrence extraction).
+"""
+
+from repro.ir.graphalgo import (
+    condensation,
+    nontrivial_sccs,
+    strongly_connected_components,
+)
+
+__all__ = ["condensation", "nontrivial_sccs", "strongly_connected_components"]

@@ -1,0 +1,10 @@
+"""CCA: combinational accelerator model and greedy subgraph mapping."""
+
+from repro.cca.model import CCAConfig, DEFAULT_CCA, assign_rows
+from repro.cca.mapper import CCAMapping, map_cca
+from repro.cca.subgraph import Subgraph, SubgraphChecker
+
+__all__ = [
+    "CCAConfig", "CCAMapping", "DEFAULT_CCA", "Subgraph",
+    "SubgraphChecker", "assign_rows", "map_cca",
+]

@@ -1,0 +1,234 @@
+"""Subgraph legality for CCA mapping.
+
+A candidate subgraph may be collapsed into a single atomic CCA
+instruction only if it (a) fits the array (row/depth/width placement,
+input/output port counts), (b) is convex — no dataflow path leaves the
+subgraph and re-enters it, which would make atomic execution impossible —
+and (c) can be re-placed at a single program point without changing the
+loop's cross-iteration register semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cca.model import CCAConfig, assign_rows
+from repro.ir.dfg import DataflowGraph
+from repro.ir.loop import Loop
+from repro.ir.ops import Reg
+
+
+@dataclass
+class Subgraph:
+    """A legal CCA subgraph with its derived interface."""
+
+    opids: list[int]                   # topological order
+    inputs: list[Reg]                  # distinct external register inputs
+    outputs: list[Reg]                 # registers consumed outside / live-out
+    rows: dict[int, int]               # opid -> CCA row
+
+    def __len__(self) -> int:
+        return len(self.opids)
+
+
+class SubgraphChecker:
+    """Caches per-loop facts used by repeated legality queries."""
+
+    def __init__(self, loop: Loop, dfg: DataflowGraph, config: CCAConfig,
+                 candidate_opids: set[int],
+                 work: Optional[Callable[[int], None]] = None) -> None:
+        self.loop = loop
+        self.dfg = dfg
+        self.config = config
+        self.candidates = candidate_opids
+        self._work = work
+        self._index = {op.opid: i for i, op in enumerate(loop.body)}
+        self._def_count: dict[Reg, int] = {}
+        for op in loop.body:
+            for d in op.dests:
+                self._def_count[d] = self._def_count.get(d, 0) + 1
+        self._live_outs = set(loop.live_outs)
+        # Recurrence SCCs over candidate compute ops (all-distance flow).
+        self._sccs = [set(s) for s in dfg.recurrence_components(
+            work=work, restrict=candidate_opids)]
+
+    def charge(self, n: int) -> None:
+        if self._work is not None:
+            self._work(n)
+
+    # -- structural helpers -------------------------------------------------
+
+    def _flow0_succs(self, opid: int) -> list[int]:
+        return [e.dst for e in self.dfg.out_edges(opid)
+                if e.kind == "flow" and e.distance == 0]
+
+    def _flow0_preds(self, opid: int) -> list[int]:
+        return [e.src for e in self.dfg.in_edges(opid)
+                if e.kind == "flow" and e.distance == 0]
+
+    def topo_order(self, members: set[int]) -> list[int]:
+        """Members sorted topologically by distance-0 edges."""
+        indegree = {m: 0 for m in members}
+        for m in members:
+            for s in self._flow0_succs(m):
+                if s in members:
+                    indegree[s] += 1
+        ready = sorted(m for m in members if indegree[m] == 0)
+        order: list[int] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for s in sorted(self._flow0_succs(node)):
+                if s in members:
+                    indegree[s] -= 1
+                    if indegree[s] == 0:
+                        ready.append(s)
+        return order if len(order) == len(members) else []
+
+    def is_convex(self, members: set[int]) -> bool:
+        """No distance-0 path exits and re-enters *members*."""
+        outside_reached: set[int] = set()
+        frontier = []
+        for m in members:
+            for s in self._flow0_succs(m):
+                self.charge(1)
+                if s not in members and s not in outside_reached:
+                    outside_reached.add(s)
+                    frontier.append(s)
+        while frontier:
+            node = frontier.pop()
+            for s in self._flow0_succs(node):
+                self.charge(1)
+                if s in members:
+                    return False
+                if s not in outside_reached:
+                    outside_reached.add(s)
+                    frontier.append(s)
+        return True
+
+    # -- interface extraction ---------------------------------------------------
+
+    def interface(self, members: set[int]) -> tuple[list[Reg], list[Reg]]:
+        """Distinct external input and output registers of *members*."""
+        defined_inside: set[Reg] = set()
+        for m in members:
+            defined_inside.update(self.loop.op(m).dests)
+        inputs: list[Reg] = []
+        for m in sorted(members, key=self._index.get):
+            op = self.loop.op(m)
+            for reg in op.src_regs():
+                self.charge(1)
+                produced_inside = False
+                for e in self.dfg.in_edges(m):
+                    if e.kind == "flow" and e.src in members and \
+                            e.distance == 0 and reg in self.loop.op(e.src).dests:
+                        produced_inside = True
+                        break
+                if not produced_inside and reg not in inputs:
+                    inputs.append(reg)
+        outputs: list[Reg] = []
+        for m in sorted(members, key=self._index.get):
+            op = self.loop.op(m)
+            needed = False
+            for e in self.dfg.out_edges(m):
+                self.charge(1)
+                if e.kind == "flow" and (e.dst not in members or e.distance > 0):
+                    needed = True
+                    break
+            if not needed and any(d in self._live_outs for d in op.dests):
+                needed = True
+            if needed:
+                for d in op.dests:
+                    if d not in outputs:
+                        outputs.append(d)
+        return inputs, outputs
+
+    # -- placement-at-first-position safety ------------------------------------
+
+    def placement_safe(self, members: set[int]) -> bool:
+        """Collapsing *members* to the first member's position must not
+        change any dependence distance (see module docstring)."""
+        pos_first = min(self._index[m] for m in members)
+        for m in members:
+            op = self.loop.op(m)
+            # Registers defined inside must be single-def in the body.
+            for d in op.dests:
+                if self._def_count.get(d, 0) > 1:
+                    return False
+            for e in self.dfg.in_edges(m):
+                self.charge(1)
+                if e.kind != "flow" or e.src in members:
+                    continue
+                if e.distance == 0 and self._index[e.src] >= pos_first:
+                    return False
+                # External producers must themselves be single-def.
+                for d in self.loop.op(e.src).dests:
+                    if d in op.src_regs() and self._def_count.get(d, 0) > 1:
+                        return False
+            for e in self.dfg.out_edges(m):
+                self.charge(1)
+                if e.kind != "flow" or e.dst in members:
+                    continue
+                if e.distance >= 1 and self._index[e.dst] > pos_first:
+                    return False
+        return True
+
+    # -- the recurrence rule -----------------------------------------------------
+
+    def recurrence_ok(self, members: set[int]) -> bool:
+        """Reject subgraphs that would lengthen a recurrence.
+
+        All CCA-supported ops have unit latency, so absorbing ``k`` ops
+        of a recurrence into a 2-cycle CCA changes that recurrence's
+        length by ``2 - k``.  Absorbing a single recurrence op therefore
+        lengthens the cycle (the ops 7+10 example of Section 4.1);
+        absorbing two or more never does.
+        """
+        for scc in self._sccs:
+            overlap = len(scc & members)
+            self.charge(1)
+            if overlap == 1:
+                return False
+        return True
+
+    # -- full check -----------------------------------------------------------------
+
+    def check(self, members: set[int],
+              enforce_recurrence_rule: bool = True) -> Optional[Subgraph]:
+        """Return the legal :class:`Subgraph` for *members*, or None.
+
+        ``enforce_recurrence_rule=False`` is used during greedy growth:
+        intermediate states may absorb a single recurrence op as long as
+        the *final* accepted subgraph does not (the mapper re-checks at
+        acceptance), matching the paper's walk-through where seed op 5
+        sits alone on a recurrence before ops 8 and 6 join it.
+        """
+        if not members or not members <= self.candidates:
+            return None
+        for m in members:
+            op = self.loop.op(m)
+            if not self.config.supports(op.opcode) or op.is_memory:
+                return None
+        order = self.topo_order(members)
+        if not order:
+            return None  # cycle through distance-0 edges cannot be atomic
+        if not self.is_convex(members):
+            return None
+        inputs, outputs = self.interface(members)
+        if len(inputs) > self.config.num_inputs:
+            return None
+        if len(outputs) > self.config.num_outputs:
+            return None
+        preds_within = {m: [p for p in self._flow0_preds(m) if p in members]
+                        for m in members}
+        rows = assign_rows([self.loop.op(m) for m in order], preds_within,
+                           self.config)
+        self.charge(len(members))
+        if rows is None:
+            return None
+        if enforce_recurrence_rule and not self.recurrence_ok(members):
+            return None
+        if not self.placement_safe(members):
+            return None
+        return Subgraph(opids=order, inputs=inputs, outputs=outputs, rows=rows)

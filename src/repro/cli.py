@@ -1,0 +1,272 @@
+"""Command-line interface.
+
+``python -m repro <command>`` regenerates any paper artifact or
+inspects a kernel's translation without writing code:
+
+    python -m repro list                       # what can I run?
+    python -m repro fig10                      # the headline figure
+    python -m repro fig8 --output results.txt
+    python -m repro translate adpcm_dec        # one loop, full detail
+    python -m repro kernels                    # the workload library
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional
+
+FIGURES: dict[str, tuple[str, Callable[[], str]]] = {}
+
+
+def _register(name: str, description: str):
+    def wrap(fn: Callable[[], str]):
+        FIGURES[name] = (description, fn)
+        return fn
+    return wrap
+
+
+@_register("fig2", "Figure 2: execution-time coverage by loop category")
+def _fig2() -> str:
+    from repro.experiments.fig2_coverage import format_coverage, run_coverage
+    return format_coverage(run_coverage())
+
+
+@_register("fig3a", "Figure 3(a): function-unit design-space sweep")
+def _fig3a() -> str:
+    from repro.experiments.sweeps import format_series, run_fu_sweep
+    return format_series("Figure 3(a): function unit sweep", run_fu_sweep())
+
+
+@_register("fig3b", "Figure 3(b): register design-space sweep")
+def _fig3b() -> str:
+    from repro.experiments.sweeps import format_series, run_register_sweep
+    return format_series("Figure 3(b): register sweep", run_register_sweep())
+
+
+@_register("fig4a", "Figure 4(a): memory-stream design-space sweep")
+def _fig4a() -> str:
+    from repro.experiments.sweeps import format_series, run_stream_sweep
+    return format_series("Figure 4(a): memory stream sweep",
+                         run_stream_sweep())
+
+
+@_register("fig4b", "Figure 4(b): maximum-II design-space sweep")
+def _fig4b() -> str:
+    from repro.experiments.sweeps import format_series, run_max_ii_sweep
+    return format_series("Figure 4(b): maximum II sweep",
+                         run_max_ii_sweep())
+
+
+@_register("design", "Section 3.2: proposed design point + area table")
+def _design() -> str:
+    from repro.experiments.design_point import (
+        format_area_table,
+        format_design_point,
+        run_area_table,
+        run_design_point,
+    )
+    return (format_design_point(run_design_point()) + "\n\n"
+            + format_area_table(run_area_table()))
+
+
+@_register("fig6", "Figure 6: speedup vs translation overhead")
+def _fig6() -> str:
+    from repro.experiments.fig6_overhead import (
+        format_overhead,
+        run_overhead_sweep,
+    )
+    return format_overhead(run_overhead_sweep())
+
+
+@_register("fig7", "Figure 7: impact of static loop transformations")
+def _fig7() -> str:
+    from repro.experiments.fig7_transforms import (
+        format_transforms,
+        run_transform_comparison,
+    )
+    return format_transforms(run_transform_comparison())
+
+
+@_register("fig8", "Figure 8: translation penalty per loop")
+def _fig8() -> str:
+    from repro.experiments.fig8_translation import (
+        format_translation,
+        run_translation_profile,
+    )
+    return format_translation(run_translation_profile())
+
+
+@_register("fig10", "Figure 10: static/dynamic tradeoff speedups")
+def _fig10() -> str:
+    from repro.experiments.fig10_speedup import (
+        format_speedup_matrix,
+        run_speedup_matrix,
+    )
+    return format_speedup_matrix(run_speedup_matrix())
+
+
+@_register("static-mii", "Section 4.2: rejected static MII encoding")
+def _static_mii() -> str:
+    from repro.experiments.static_tradeoffs import (
+        format_static_mii,
+        run_static_mii_study,
+    )
+    return format_static_mii(run_static_mii_study())
+
+
+@_register("footnote3", "Footnote 3: static priority under latency drift")
+def _footnote3() -> str:
+    from repro.experiments.static_tradeoffs import (
+        format_footnote3,
+        run_footnote3_study,
+    )
+    return format_footnote3(run_footnote3_study())
+
+
+@_register("amortization", "Bus-latency sensitivity + trip-count crossover")
+def _amortization() -> str:
+    from repro.experiments.amortization import (
+        format_amortization,
+        run_bus_sweep,
+        run_trip_crossover,
+    )
+    return format_amortization(run_bus_sweep(), run_trip_crossover())
+
+
+@_register("speculation", "Section 2.2 extension: speculative memory support")
+def _speculation() -> str:
+    from repro.experiments.speculation import (
+        format_speculation,
+        run_speculation_study,
+    )
+    return format_speculation(run_speculation_study())
+
+
+@_register("utilization", "measured kernel utilization (overlapped executor)")
+def _utilization() -> str:
+    from repro.experiments.utilization import (
+        format_utilization,
+        run_utilization,
+    )
+    return format_utilization(run_utilization())
+
+
+@_register("all", "run every experiment and print one full report")
+def _all() -> str:
+    from repro.experiments.report import full_report
+    return full_report(progress=lambda title: print(f"... {title}",
+                                                    file=sys.stderr))
+
+
+def _kernel_by_name(name: str):
+    from repro.workloads import kernels as K
+    factories = {
+        "fir": lambda: K.fir_filter(taps=8), "iir": K.iir_biquad,
+        "adpcm_dec": K.adpcm_decode, "adpcm_enc": K.adpcm_encode,
+        "dct": K.dct_butterfly, "sad": K.sad_16, "quant": K.quantize,
+        "gf_mult": K.gf_mult, "viterbi": K.viterbi_acs,
+        "colorconv": K.color_convert, "bitpack": K.bitpack,
+        "checksum": K.checksum, "upsample": K.upsample,
+        "vmax": K.vector_max, "daxpy": K.daxpy, "ddot": K.dot_product,
+        "stencil5": K.stencil5, "mgrid_resid": K.mgrid_resid,
+        "swim_update": K.swim_update, "mesa_xform": K.mesa_transform,
+        "tomcatv_res": K.tomcatv_residual, "while_scan": K.while_scan,
+        "libm_loop": K.libm_loop, "fig5": None,
+    }
+    if name == "fig5":
+        from repro.workloads.example_fig5 import fig5_loop
+        return fig5_loop()
+    factory = factories.get(name)
+    if factory is None:
+        raise KeyError(f"unknown kernel {name!r}; try: "
+                       + ", ".join(sorted(factories)))
+    return factory()
+
+
+def cmd_translate(name: str) -> str:
+    """Translate one kernel for the proposed LA and report everything."""
+    from repro.accelerator import PROPOSED_LA
+    from repro.scheduler import ModuloReservationTable, sched_resource
+    from repro.vm import translate_loop
+
+    loop = _kernel_by_name(name)
+    lines = [loop.dump(), ""]
+    result = translate_loop(loop, PROPOSED_LA)
+    if not result.ok:
+        lines.append(f"REJECTED: {result.failure}")
+        return "\n".join(lines)
+    image = result.image
+    lines.append(
+        f"II={image.ii} (ResMII {image.schedule.res_mii}, RecMII "
+        f"{image.schedule.rec_mii})  stages={image.stage_count}  "
+        f"streams={image.streams.num_load_streams}L/"
+        f"{image.streams.num_store_streams}S  "
+        f"regs={image.registers.int_regs}i/{image.registers.fp_regs}f")
+    lines.append(f"translation: {result.instructions:,.0f} modelled "
+                 f"instructions")
+    mrt = ModuloReservationTable(image.ii, PROPOSED_LA.units())
+    placements = {opid: (t, sched_resource(image.dfg.op(opid)))
+                  for opid, t in image.schedule.times.items()}
+    lines.append("")
+    lines.append(mrt.render(placements))
+    return "\n".join(lines)
+
+
+def cmd_kernels() -> str:
+    from repro.workloads.suite import all_benchmarks
+    rows = []
+    for bench in all_benchmarks():
+        for loop in bench.kernels:
+            rows.append(f"{bench.name:14s} {loop.name:16s} "
+                        f"{len(loop.body):3d} ops  trip {loop.trip_count:5d}"
+                        f"  x{loop.invocations}")
+    return "\n".join(rows)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VEAL (ISCA 2008) reproduction — regenerate paper "
+                    "figures or inspect kernel translations.")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available figures")
+    sub.add_parser("kernels", help="list the workload kernels")
+    translate = sub.add_parser("translate",
+                               help="translate one kernel and print its "
+                                    "reservation table")
+    translate.add_argument("kernel")
+    for name, (description, _fn) in FIGURES.items():
+        fig = sub.add_parser(name, help=description)
+        fig.add_argument("--output", "-o", default=None,
+                         help="also write the table to this file")
+    args = parser.parse_args(argv)
+
+    if args.command in (None, "list"):
+        width = max(len(n) for n in FIGURES)
+        for name, (description, _fn) in FIGURES.items():
+            print(f"  {name.ljust(width)}  {description}")
+        print(f"  {'translate'.ljust(width)}  translate a kernel "
+              f"(see 'kernels')")
+        return 0
+    if args.command == "kernels":
+        print(cmd_kernels())
+        return 0
+    if args.command == "translate":
+        try:
+            print(cmd_translate(args.kernel))
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        return 0
+    _description, fn = FIGURES[args.command]
+    text = fn()
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

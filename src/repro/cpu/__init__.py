@@ -1,0 +1,23 @@
+"""Scalar baseline processor: functional interpreter and timing models."""
+
+from repro.cpu.interpreter import (
+    ExecResult,
+    Interpreter,
+    TrapError,
+    standard_live_ins,
+    wrap64,
+)
+from repro.cpu.memory import Memory, Value
+from repro.cpu.pipeline import (
+    ARM11,
+    CORTEX_A8,
+    CPUConfig,
+    InOrderPipeline,
+    QUAD_ISSUE,
+)
+
+__all__ = [
+    "ARM11", "CORTEX_A8", "CPUConfig", "ExecResult", "InOrderPipeline",
+    "Interpreter", "Memory", "QUAD_ISSUE", "TrapError", "Value",
+    "standard_live_ins", "wrap64",
+]

@@ -1,0 +1,117 @@
+"""Invocation-overhead amortization: bus latency and trip-count crossovers.
+
+Two claims around Section 4.3's setup are made testable:
+
+* "Communication overhead between the general purpose processor and the
+  LA was assumed to be a fixed 10 cycles ... although this latency is
+  largely irrelevant given the streaming nature of the target
+  applications."  We sweep the bus latency an order of magnitude in
+  both directions and measure how much the suite actually cares.
+
+* The flip side — the synchronisation overhead is paid per
+  *invocation*, so short-trip loops have a break-even point below which
+  the accelerator loses.  We locate that crossover per bus latency,
+  the kind of number a runtime would use as a hot-loop threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.accelerator.config import PROPOSED_LA
+from repro.accelerator.machine import LoopAccelerator
+from repro.cpu.pipeline import ARM11, InOrderPipeline
+from repro.experiments.common import (
+    arithmetic_mean,
+    baseline_runs,
+    format_table,
+    fmt,
+    run_suite,
+    speedups,
+)
+from repro.vm.runtime import VMConfig
+from repro.vm.translator import translate_loop
+from repro.workloads import kernels as K
+from repro.workloads.suite import Benchmark, media_fp_benchmarks
+
+BUS_POINTS = [0, 10, 50, 100, 200]
+
+
+@dataclass
+class BusSweepPoint:
+    bus_latency: int
+    mean_speedup: float
+
+
+def run_bus_sweep(benchmarks: Optional[list[Benchmark]] = None
+                  ) -> list[BusSweepPoint]:
+    benches = media_fp_benchmarks() if benchmarks is None else benchmarks
+    base = baseline_runs(benches)
+    points = []
+    for bus in BUS_POINTS:
+        config = VMConfig(
+            cpu=ARM11,
+            accelerator=PROPOSED_LA.with_(bus_latency=bus),
+            charge_translation=False, functional=False)
+        runs = run_suite(config, benchmarks=benches)
+        points.append(BusSweepPoint(
+            bus, arithmetic_mean(list(speedups(base, runs).values()))))
+    return points
+
+
+@dataclass
+class CrossoverRow:
+    bus_latency: int
+    trips: list[int]
+    speedups: list[float]
+
+    @property
+    def break_even_trips(self) -> Optional[int]:
+        for trip, s in zip(self.trips, self.speedups):
+            if s >= 1.0:
+                return trip
+        return None
+
+
+TRIP_POINTS = [2, 4, 8, 16, 32, 64, 128, 512]
+
+
+def run_trip_crossover(kernel_factory=K.color_convert,
+                       bus_points: Optional[list[int]] = None
+                       ) -> list[CrossoverRow]:
+    """Per-invocation speedup of one kernel vs its trip count."""
+    buses = [10, 50, 200] if bus_points is None else bus_points
+    pipe = InOrderPipeline(ARM11)
+    rows = []
+    for bus in buses:
+        config = PROPOSED_LA.with_(bus_latency=bus)
+        accel = LoopAccelerator(config)
+        gains = []
+        for trips in TRIP_POINTS:
+            loop = kernel_factory(trip_count=trips)
+            result = translate_loop(loop, config)
+            assert result.ok, result.failure
+            accel_cycles = accel.estimate(result.image).total_cycles
+            scalar_cycles = pipe.loop_cycles(loop)
+            gains.append(scalar_cycles / accel_cycles)
+        rows.append(CrossoverRow(bus, list(TRIP_POINTS), gains))
+    return rows
+
+
+def format_amortization(bus_points: list[BusSweepPoint],
+                        crossover: list[CrossoverRow]) -> str:
+    bus_table = format_table(
+        ["bus latency (cycles)", "mean suite speedup"],
+        [(p.bus_latency, fmt(p.mean_speedup)) for p in bus_points],
+        title="Bus-latency sensitivity (paper: 'largely irrelevant')")
+    headers = ["trip count"] + [f"bus={r.bus_latency}" for r in crossover]
+    rows = []
+    for i, trip in enumerate(TRIP_POINTS):
+        rows.append([trip] + [fmt(r.speedups[i]) for r in crossover])
+    rows.append(["break-even"]
+                + [str(r.break_even_trips) for r in crossover])
+    cross_table = format_table(
+        headers, rows,
+        title="Per-invocation speedup vs trip count (color_convert)")
+    return bus_table + "\n\n" + cross_table

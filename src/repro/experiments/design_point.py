@@ -1,0 +1,64 @@
+"""Section 3.2: the proposed generalized loop accelerator design point.
+
+Checks the headline claim — the 1-CCA / 2-int / 2-FP / 16-reg /
+16-load-8-store-stream / max-II-16 design attains ~83% of the
+infinite-resource speedup — and produces the die-area comparison table
+(3.8 mm^2 for the LA vs 4.34 mm^2 ARM11 vs 10.2 mm^2 Cortex-A8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.area import accelerator_area
+from repro.accelerator.config import PROPOSED_LA, LAConfig
+from repro.cpu.pipeline import ARM11, CORTEX_A8, QUAD_ISSUE
+from repro.experiments.common import format_table, fmt
+from repro.experiments.sweeps import fraction_of_infinite
+
+
+@dataclass
+class DesignPointResult:
+    fraction_of_infinite: float
+    la_area_mm2: float
+    la_plus_arm11_mm2: float
+
+
+def run_design_point(config: LAConfig = PROPOSED_LA) -> DesignPointResult:
+    fraction = fraction_of_infinite(config)
+    area = accelerator_area(config).total
+    return DesignPointResult(
+        fraction_of_infinite=fraction,
+        la_area_mm2=area,
+        la_plus_arm11_mm2=area + ARM11.area_mm2,
+    )
+
+
+def run_area_table(config: LAConfig = PROPOSED_LA) -> list[tuple]:
+    """The Section 3.2 / 4.3 die-area comparison."""
+    breakdown = accelerator_area(config)
+    return [
+        ("loop accelerator (proposed)", fmt(breakdown.total, 2)),
+        ("  of which 2x double-precision FPU", fmt(breakdown.fp_units, 2)),
+        ("ARM11 (1-issue baseline)", fmt(ARM11.area_mm2, 2)),
+        ("ARM11 + loop accelerator", fmt(ARM11.area_mm2 + breakdown.total, 2)),
+        ("Cortex-A8 (2-issue)", fmt(CORTEX_A8.area_mm2, 2)),
+        ("hypothetical 4-issue", fmt(QUAD_ISSUE.area_mm2, 2)),
+    ]
+
+
+def format_design_point(result: DesignPointResult) -> str:
+    rows = [
+        ("fraction of infinite-resource speedup",
+         fmt(result.fraction_of_infinite, 3), "0.83"),
+        ("accelerator area (mm^2, 90nm)", fmt(result.la_area_mm2, 2), "3.8"),
+        ("ARM11 + accelerator (mm^2)", fmt(result.la_plus_arm11_mm2, 2),
+         "8.25"),
+    ]
+    return format_table(["metric", "measured", "paper"], rows,
+                        title="Section 3.2: proposed design point")
+
+
+def format_area_table(rows: list[tuple]) -> str:
+    return format_table(["component", "area mm^2 (90nm)"], rows,
+                        title="Die area comparison (Sections 3.2 / 4.3)")

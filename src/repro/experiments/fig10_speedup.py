@@ -1,0 +1,113 @@
+"""Figure 10: static/dynamic and algorithm tradeoffs for key stages.
+
+Six system configurations per benchmark, all normalised to the
+single-issue ARM11-like baseline:
+
+1. **No Translation Penalty** — the accelerator with free translation
+   (equivalent to a statically compiled binary).  Paper mean: 2.76.
+2. **Fully Dynamic** — Swing priority computed at runtime, full
+   translation cost through the 16-entry LRU code cache.  Paper: 2.27.
+3. **Fully Dynamic Height Priority** — the cheaper priority function:
+   faster translation, sometimes worse schedules.  Paper: 2.41.
+4. **Static CCA/Priority** — the hybrid recommendation: CCA subgraphs
+   and scheduling priority encoded in the binary.  Paper: 2.66.
+5. **2-Issue** — a Cortex-A8-like core, no accelerator.
+6. **4-Issue** — a hypothetical quad-issue core, no accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.accelerator.config import PROPOSED_LA
+from repro.cpu.pipeline import ARM11, CORTEX_A8, QUAD_ISSUE
+from repro.experiments.common import (
+    arithmetic_mean,
+    baseline_runs,
+    format_table,
+    fmt,
+    run_suite,
+    speedups,
+)
+from repro.vm.runtime import VMConfig
+from repro.vm.translator import TranslationOptions
+from repro.workloads.suite import Benchmark, media_fp_benchmarks
+
+MODES: list[tuple[str, str]] = [
+    ("no_penalty", "No Translation Penalty"),
+    ("fully_dynamic", "Fully Dynamic"),
+    ("height", "Fully Dynamic Height Priority"),
+    ("static", "Static CCA/Priority"),
+    ("issue2", "2-Issue"),
+    ("issue4", "4-Issue"),
+]
+
+PAPER_MEANS = {"no_penalty": 2.76, "fully_dynamic": 2.27,
+               "height": 2.41, "static": 2.66}
+
+
+def _mode_config(mode: str, functional: bool) -> tuple[VMConfig, bool]:
+    """(config, needs static annotations) for one Figure 10 bar."""
+    if mode == "no_penalty":
+        return VMConfig(cpu=ARM11, accelerator=PROPOSED_LA,
+                        charge_translation=False,
+                        functional=functional), False
+    if mode == "fully_dynamic":
+        return VMConfig(cpu=ARM11, accelerator=PROPOSED_LA,
+                        options=TranslationOptions.fully_dynamic(),
+                        functional=functional), False
+    if mode == "height":
+        return VMConfig(cpu=ARM11, accelerator=PROPOSED_LA,
+                        options=TranslationOptions.fully_dynamic_height(),
+                        functional=functional), False
+    if mode == "static":
+        return VMConfig(cpu=ARM11, accelerator=PROPOSED_LA,
+                        options=TranslationOptions.hybrid(),
+                        functional=functional), True
+    if mode == "issue2":
+        return VMConfig(cpu=CORTEX_A8, accelerator=None), False
+    if mode == "issue4":
+        return VMConfig(cpu=QUAD_ISSUE, accelerator=None), False
+    raise KeyError(mode)
+
+
+@dataclass
+class SpeedupMatrix:
+    """Per-benchmark speedups for every Figure 10 configuration."""
+
+    benchmarks: list[str]
+    by_mode: dict[str, dict[str, float]]
+
+    def mean(self, mode: str) -> float:
+        return arithmetic_mean(list(self.by_mode[mode].values()))
+
+
+def run_speedup_matrix(benchmarks: Optional[list[Benchmark]] = None,
+                       functional: bool = False) -> SpeedupMatrix:
+    benches = media_fp_benchmarks() if benchmarks is None else benchmarks
+    base = baseline_runs(benches)
+    by_mode: dict[str, dict[str, float]] = {}
+    for mode, _label in MODES:
+        config, annotate = _mode_config(mode, functional)
+        runs = run_suite(config, benchmarks=benches, annotate=annotate)
+        by_mode[mode] = speedups(base, runs)
+    return SpeedupMatrix(benchmarks=[b.name for b in benches],
+                         by_mode=by_mode)
+
+
+def format_speedup_matrix(matrix: SpeedupMatrix) -> str:
+    headers = ["benchmark"] + [label for _m, label in MODES]
+    rows = []
+    for name in matrix.benchmarks:
+        rows.append([name] + [fmt(matrix.by_mode[mode][name])
+                              for mode, _ in MODES])
+    rows.append(["MEAN"] + [fmt(matrix.mean(mode)) for mode, _ in MODES])
+    paper_row = ["paper MEAN"]
+    for mode, _ in MODES:
+        paper_row.append(fmt(PAPER_MEANS[mode]) if mode in PAPER_MEANS
+                         else "-")
+    rows.append(paper_row)
+    return format_table(headers, rows,
+                        title="Figure 10: whole-application speedup over "
+                              "the 1-issue baseline")

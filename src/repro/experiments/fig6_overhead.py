@@ -1,0 +1,79 @@
+"""Figure 6: speedup vs. per-loop translation overhead.
+
+"This graph shows the average speedup across benchmarks when varying
+the translation cost per loop ... The various lines reflect how
+frequently the translation penalty must be paid."  The paper's anchor
+points: at a 1% retranslation rate, overhead 100,000 cycles gives a
+speedup of about 1.47 and 20,000 cycles about 1.92.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.accelerator.config import PROPOSED_LA
+from repro.cpu.pipeline import ARM11
+from repro.experiments.common import (
+    arithmetic_mean,
+    baseline_runs,
+    format_table,
+    fmt,
+    run_suite,
+    speedups,
+)
+from repro.vm.runtime import VMConfig
+from repro.workloads.suite import Benchmark, media_fp_benchmarks
+
+#: Per-loop translation overheads swept on the x axis (cycles).
+OVERHEAD_POINTS = [0, 10_000, 20_000, 40_000, 60_000, 80_000, 100_000,
+                   140_000, 200_000]
+
+#: Retranslation frequencies (the line family): translate once, or
+#: retranslate on 0.1% / 1% / 10% of invocations due to cache misses.
+MISS_RATES = [("translate once", 0.0), ("0.1% of invocations", 0.001),
+              ("1% of invocations", 0.01), ("10% of invocations", 0.10)]
+
+
+@dataclass
+class OverheadSeries:
+    label: str
+    miss_rate: float
+    overheads: list[int]
+    mean_speedups: list[float]
+
+
+def run_overhead_sweep(benchmarks: Optional[list[Benchmark]] = None
+                       ) -> list[OverheadSeries]:
+    benches = media_fp_benchmarks() if benchmarks is None else benchmarks
+    base = baseline_runs(benches)
+    series: list[OverheadSeries] = []
+    for label, rate in MISS_RATES:
+        means: list[float] = []
+        for overhead in OVERHEAD_POINTS:
+            config = VMConfig(
+                cpu=ARM11, accelerator=PROPOSED_LA,
+                charge_translation=True,
+                translation_overhead_override=float(overhead),
+                miss_rate_override=rate if rate > 0 else None,
+                functional=False)
+            runs = run_suite(config, benchmarks=benches)
+            means.append(arithmetic_mean(list(speedups(base, runs).values())))
+        series.append(OverheadSeries(label=label, miss_rate=rate,
+                                     overheads=list(OVERHEAD_POINTS),
+                                     mean_speedups=means))
+    return series
+
+
+def format_overhead(series: list[OverheadSeries]) -> str:
+    from repro.experiments.plot import Series, ascii_chart
+    headers = ["overhead (cycles/loop)"] + [s.label for s in series]
+    rows = []
+    for i, overhead in enumerate(OVERHEAD_POINTS):
+        rows.append([overhead] + [fmt(s.mean_speedups[i]) for s in series])
+    table = format_table(headers, rows,
+                         title="Figure 6: speedup vs translation overhead")
+    chart = ascii_chart(
+        [Series(s.label, s.overheads, s.mean_speedups) for s in series],
+        y_label="mean speedup", x_label="translation overhead (cycles)")
+    return table + "\n\n" + chart

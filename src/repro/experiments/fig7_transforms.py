@@ -1,0 +1,77 @@
+"""Figure 7: the value of static loop transformations.
+
+"Each bar in this graph shows the fraction of speedup attained by
+binaries without loop transforms (i.e., compiled normally) compared to
+binaries compiled with loop transformations ... On average, not
+performing loop transformations reduced speedup attained by the
+accelerator by 75%."
+
+The untransformed binary presents loop shapes the runtime cannot
+retarget: un-fissioned too-large loops (which fail the max-II /
+stream checks for real) and loops whose accelerable form required
+if-conversion, aggressive inlining or unrolling adjustment (gated by
+the kernels' ``static_transforms`` annotations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.accelerator.config import PROPOSED_LA
+from repro.cpu.pipeline import ARM11
+from repro.experiments.common import (
+    arithmetic_mean,
+    baseline_runs,
+    format_table,
+    fmt,
+    run_suite,
+    speedups,
+)
+from repro.vm.runtime import VMConfig
+from repro.workloads.suite import Benchmark, media_fp_benchmarks
+
+
+@dataclass
+class TransformRow:
+    benchmark: str
+    speedup_with: float
+    speedup_without: float
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of the accelerator's *gain* retained without static
+        transforms (0 when the runtime could retarget nothing)."""
+        gain_with = self.speedup_with - 1.0
+        gain_without = self.speedup_without - 1.0
+        if gain_with <= 1e-9:
+            return 1.0
+        return max(0.0, min(gain_without / gain_with, 1.0))
+
+
+def run_transform_comparison(benchmarks: Optional[list[Benchmark]] = None
+                             ) -> list[TransformRow]:
+    benches = media_fp_benchmarks() if benchmarks is None else benchmarks
+    base = baseline_runs(benches)
+    with_cfg = VMConfig(cpu=ARM11, accelerator=PROPOSED_LA,
+                        charge_translation=False, functional=False)
+    without_cfg = VMConfig(cpu=ARM11, accelerator=PROPOSED_LA,
+                           charge_translation=False, functional=False,
+                           static_transforms_applied=False)
+    s_with = speedups(base, run_suite(with_cfg, benchmarks=benches))
+    s_without = speedups(base, run_suite(without_cfg, benchmarks=benches))
+    return [TransformRow(b.name, s_with[b.name], s_without[b.name])
+            for b in benches]
+
+
+def format_transforms(rows: list[TransformRow]) -> str:
+    table = [(r.benchmark, fmt(r.speedup_with), fmt(r.speedup_without),
+              fmt(100 * r.fraction, 1)) for r in rows]
+    mean_frac = arithmetic_mean([r.fraction for r in rows])
+    footer = (f"\nmean fraction of speedup retained without transforms: "
+              f"{fmt(100 * mean_frac, 1)}%  (paper: ~25%)")
+    return format_table(
+        ["benchmark", "speedup (transformed)", "speedup (normal binary)",
+         "% retained"],
+        table, title="Figure 7: impact of static loop transformations",
+    ) + footer

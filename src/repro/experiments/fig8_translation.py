@@ -1,0 +1,89 @@
+"""Figure 8: the measured translation penalty per loop.
+
+Translates every loop of the suite against the proposed accelerator and
+reports modelled instructions per phase.  Paper anchors: ~99,716
+instructions per loop on average — 69% priority calculation, 20% CCA
+mapping, ResMII+RecMII ~1,250, scheduling+register assignment ~9,650
+with scheduling below 3% of the total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.accelerator.config import PROPOSED_LA, LAConfig
+from repro.experiments.common import format_table, fmt
+from repro.vm.costmodel import PHASES
+from repro.vm.translator import TranslationOptions, translate_loop
+from repro.workloads.suite import Benchmark, media_fp_benchmarks
+
+
+@dataclass
+class TranslationProfile:
+    """Per-benchmark average translation cost with phase breakdown."""
+
+    benchmark: str
+    loops: int
+    avg_instructions: float
+    phase_instructions: dict[str, float] = field(default_factory=dict)
+
+
+def run_translation_profile(
+        benchmarks: Optional[list[Benchmark]] = None,
+        config: LAConfig = PROPOSED_LA,
+        options: TranslationOptions = TranslationOptions(),
+) -> list[TranslationProfile]:
+    benches = media_fp_benchmarks() if benchmarks is None else benchmarks
+    profiles: list[TranslationProfile] = []
+    for bench in benches:
+        totals = {p: 0.0 for p in PHASES}
+        count = 0
+        for loop in bench.kernels:
+            result = translate_loop(loop, config, options)
+            if not result.ok:
+                continue
+            count += 1
+            for phase, instrs in result.meter.instructions().items():
+                totals[phase] += instrs
+        if count == 0:
+            continue
+        profiles.append(TranslationProfile(
+            benchmark=bench.name, loops=count,
+            avg_instructions=sum(totals.values()) / count,
+            phase_instructions={p: v / count for p, v in totals.items()},
+        ))
+    return profiles
+
+
+def suite_average(profiles: list[TranslationProfile]) -> dict[str, float]:
+    """Loop-weighted suite-wide phase averages (instructions/loop)."""
+    totals = {p: 0.0 for p in PHASES}
+    loops = 0
+    for prof in profiles:
+        loops += prof.loops
+        for p in PHASES:
+            totals[p] += prof.phase_instructions[p] * prof.loops
+    return {p: totals[p] / max(loops, 1) for p in PHASES}
+
+
+def format_translation(profiles: list[TranslationProfile]) -> str:
+    headers = ["benchmark", "loops", "avg instr"] + list(PHASES)
+    rows = []
+    for prof in profiles:
+        rows.append([prof.benchmark, prof.loops,
+                     f"{prof.avg_instructions:,.0f}"]
+                    + [f"{prof.phase_instructions[p]:,.0f}" for p in PHASES])
+    avg = suite_average(profiles)
+    total = sum(avg.values())
+    rows.append(["AVERAGE", "", f"{total:,.0f}"]
+                + [f"{avg[p]:,.0f}" for p in PHASES])
+    shares = (f"\npriority share {fmt(100 * avg['priority'] / total, 1)}% "
+              f"(paper 69%), CCA share {fmt(100 * avg['cca'] / total, 1)}% "
+              f"(paper 20%), ResMII+RecMII "
+              f"{avg['resmii'] + avg['recmii']:,.0f} (paper ~1,250), "
+              f"scheduling+regalloc "
+              f"{avg['scheduling'] + avg['regalloc']:,.0f} (paper ~9,650)")
+    return format_table(headers, rows,
+                        title="Figure 8: translation penalty per loop "
+                              "(modelled instructions)") + shares

@@ -1,0 +1,97 @@
+"""ASCII line charts for the figure reproductions.
+
+The paper's design-space results are line charts; the experiment
+formatters embed a terminal rendering alongside the numeric tables so
+`python -m repro fig3a` visually resembles Figure 3(a).  Pure
+fixed-width text — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+#: Marker characters assigned to series in order.
+MARKERS = "ox*+#@%&"
+
+
+@dataclass
+class Series:
+    """One line of a chart."""
+
+    label: str
+    xs: Sequence[float]
+    ys: Sequence[float]
+
+
+def ascii_chart(series: list[Series], width: int = 64, height: int = 16,
+                title: str = "", y_label: str = "",
+                x_label: str = "") -> str:
+    """Render *series* as a fixed-width ASCII chart.
+
+    X positions use the rank of each distinct x value (the paper's
+    sweeps are log-ish spaced, so rank spacing reads better than linear).
+    """
+    if not series or not any(s.xs for s in series):
+        return "(no data)"
+    all_x = sorted({x for s in series for x in s.xs})
+    all_y = [y for s in series for y in s.ys]
+    y_min = min(all_y + [0.0])
+    y_max = max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_pos = {x: (i * (width - 1)) // max(len(all_x) - 1, 1)
+             for i, x in enumerate(all_x)}
+
+    def row_of(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return (height - 1) - round(frac * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, s in enumerate(series):
+        marker = MARKERS[index % len(MARKERS)]
+        points = sorted(zip(s.xs, s.ys))
+        # connect consecutive points with interpolated dots
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            c0, c1 = x_pos[x0], x_pos[x1]
+            for col in range(c0, c1 + 1):
+                t = 0 if c1 == c0 else (col - c0) / (c1 - c0)
+                y = y0 + t * (y1 - y0)
+                r = row_of(y)
+                if grid[r][col] == " ":
+                    grid[r][col] = "."
+        for x, y in points:
+            grid[row_of(y)][x_pos[x]] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.2f}"
+    bottom_label = f"{y_min:.2f}"
+    pad = max(len(top_label), len(bottom_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(pad)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}|")
+    axis = " " * pad + " +" + "-" * width + "+"
+    lines.append(axis)
+    ticks = " " * (pad + 2)
+    tick_line = [" "] * width
+    for x in (all_x[0], all_x[len(all_x) // 2], all_x[-1]):
+        pos = x_pos[x]
+        text = f"{x:g}"
+        start = min(pos, width - len(text))
+        for k, ch in enumerate(text):
+            tick_line[start + k] = ch
+    lines.append(ticks + "".join(tick_line))
+    legend = "   ".join(f"{MARKERS[i % len(MARKERS)]} {s.label}"
+                        for i, s in enumerate(series))
+    lines.append((" " * (pad + 2)) + legend)
+    if x_label or y_label:
+        lines.append((" " * (pad + 2))
+                     + f"x: {x_label}   y: {y_label}".strip())
+    return "\n".join(lines)

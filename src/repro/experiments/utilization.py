@@ -1,0 +1,85 @@
+"""Accelerator utilization: how full the reservation table really runs.
+
+The design-space exploration (Section 3) sizes the accelerator by how
+much *speedup* each resource buys; this companion experiment reports the
+dual view — measured per-resource occupancy of the kernel under the
+proposed design, from the event-driven overlapped executor.  A resource
+at 1.0 is the loop's ResMII bottleneck; chronically idle resources are
+the area the CCA/fission decisions exist to reclaim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.accelerator.config import PROPOSED_LA
+from repro.accelerator.pipeline_executor import execute_overlapped
+from repro.cpu.interpreter import standard_live_ins
+from repro.experiments.common import format_table, fmt
+from repro.vm.runtime import _prepare_memory
+from repro.vm.translator import translate_loop
+from repro.workloads.suite import Benchmark, DEFAULT_SCALARS, media_fp_benchmarks
+
+RESOURCES = ("int", "fp", "cca", "ldgen", "stgen")
+
+
+@dataclass
+class UtilizationRow:
+    loop: str
+    ii: int
+    inflight: int
+    utilization: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bottleneck(self) -> str:
+        if not self.utilization:
+            return "-"
+        return max(self.utilization, key=self.utilization.get)
+
+
+def run_utilization(benchmarks: Optional[list[Benchmark]] = None,
+                    trip_count: int = 32) -> list[UtilizationRow]:
+    benches = media_fp_benchmarks() if benchmarks is None else benchmarks
+    rows: list[UtilizationRow] = []
+    seen: set[str] = set()
+    for bench in benches:
+        for loop in bench.kernels:
+            base_name = loop.name.split("_", 1)[-1]
+            if base_name in seen:
+                continue
+            seen.add(base_name)
+            small = loop.rebuild()
+            small.trip_count = min(loop.trip_count, trip_count)
+            result = translate_loop(small, PROPOSED_LA)
+            if not result.ok:
+                continue
+            memory = _prepare_memory(result.image.loop, seed=77)
+            live = standard_live_ins(result.image.loop, memory,
+                                     DEFAULT_SCALARS)
+            run = execute_overlapped(result.image, memory, live,
+                                     trip_count=small.trip_count)
+            rows.append(UtilizationRow(
+                loop=loop.name, ii=result.image.ii,
+                inflight=run.max_inflight_iterations,
+                utilization=dict(run.utilization)))
+    return rows
+
+
+def format_utilization(rows: list[UtilizationRow]) -> str:
+    table = []
+    for r in rows:
+        table.append([r.loop, r.ii, r.inflight]
+                     + [fmt(r.utilization.get(res, 0.0), 2)
+                        for res in RESOURCES]
+                     + [r.bottleneck])
+    saturated = sum(1 for r in rows
+                    if max(r.utilization.values(), default=0) > 0.95)
+    return format_table(
+        ["loop", "II", "iters in flight"] + list(RESOURCES)
+        + ["bottleneck"],
+        table,
+        title="Measured kernel utilization on the proposed design "
+              "(event-driven overlapped execution)",
+    ) + (f"\n{saturated}/{len(rows)} kernels saturate a resource class — "
+         f"their II is resource-bound; the rest are recurrence-bound.")

@@ -1,0 +1,20 @@
+"""Binary interface: loop encoding + static annotations (Figure 9)."""
+
+from repro.isa.annotations import (
+    STATIC_CCA_KEY,
+    STATIC_MII_KEY,
+    STATIC_PRIORITY_KEY,
+    annotate_for_veal,
+    annotate_static_cca,
+    annotate_static_mii,
+    annotate_static_priority,
+)
+from repro.isa.encoding import EncodingError, decode_loop, encode_loop
+from repro.isa.outline import OutlinedLoop, expand_brl, outline_cca
+
+__all__ = [
+    "EncodingError", "OutlinedLoop", "STATIC_CCA_KEY", "STATIC_MII_KEY",
+    "STATIC_PRIORITY_KEY", "annotate_for_veal", "annotate_static_cca",
+    "annotate_static_mii", "annotate_static_priority", "decode_loop",
+    "encode_loop", "expand_brl", "outline_cca",
+]

@@ -1,0 +1,161 @@
+"""Static, binary-compatible annotations (Figure 9).
+
+The hybrid static/dynamic strategy hoists the two most expensive
+translation phases into the static compiler and encodes their results
+in the binary without breaking compatibility:
+
+* **CCA identification** (Figure 9(b)) — each identified subgraph is
+  outlined behind a ``BRL`` (branch-and-link); a VM that has a CCA maps
+  the callee's ops onto it, a VM that does not simply executes them
+  independently.  "This property means static CCA identification does
+  not tie the binary to one particular CCA (or even any CCA at all)."
+* **Priority calculation** (Figure 9(c)) — one number per operation in
+  a data section directly before the loop; the VM recovers each op's
+  priority with a single subtraction from its PC.
+
+We carry both in ``loop.annotations`` (the semantic content of the data
+section); :mod:`repro.isa.encoding` provides the byte-level layout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.dependence import refine_memory_edges
+from repro.analysis.partition import partition_loop
+from repro.analysis.streams import analyze_streams
+from repro.cca.mapper import map_cca
+from repro.cca.model import CCAConfig, DEFAULT_CCA
+from repro.ir.dfg import build_dfg
+from repro.ir.loop import Loop
+from repro.ir.opcodes import DEFAULT_LATENCY, LatencyModel
+from repro.scheduler.mii import compute_mii
+from repro.scheduler.priority import height_priority, swing_priority
+
+STATIC_CCA_KEY = "static_cca"            # list[list[int]] of subgraph opids
+STATIC_PRIORITY_KEY = "static_priority"  # dict[int, int]: opid -> rank
+STATIC_MII_KEY = "static_mii"            # {"res": int, "rec": int}
+
+
+def _refined_dfg(loop: Loop, latency_model=DEFAULT_LATENCY):
+    """DFG with exact affine memory dependences — the same graph the
+    dynamic translator schedules against, so static encodings match."""
+    dfg = build_dfg(loop, latency_model)
+    streams = analyze_streams(loop)
+    if streams.ok:
+        dfg = refine_memory_edges(loop, dfg, streams)
+    return dfg
+
+
+def annotate_static_cca(loop: Loop,
+                        cca: CCAConfig = DEFAULT_CCA) -> Loop:
+    """Statically identify CCA subgraphs and record them.
+
+    The loop body itself is unchanged (binary compatible); only the
+    annotation — standing in for the procedural abstraction of
+    Figure 9(b) — is added.
+    """
+    dfg = _refined_dfg(loop)
+    part = partition_loop(loop, dfg)
+    mapping = map_cca(loop, dfg, config=cca, candidate_opids=part.compute)
+    subgraphs = [list(sg.opids) for sg in mapping.subgraphs.values()]
+    annotated = loop.rebuild()
+    annotated.annotations[STATIC_CCA_KEY] = subgraphs
+    return annotated
+
+
+def annotate_static_priority(loop: Loop,
+                             cca: Optional[CCAConfig] = DEFAULT_CCA,
+                             latency_model: LatencyModel = DEFAULT_LATENCY,
+                             kind: str = "swing") -> Loop:
+    """Statically compute scheduling priority and record per-op ranks.
+
+    Priorities are computed on the CCA-collapsed form (the form the
+    dynamic scheduler will see) at II = RecMII with canonical latencies.
+    Recurrence criticality "is largely architecture independent"
+    (footnote 3), which is what makes this encoding portable.  Each
+    collapsed subgraph's rank is recorded on all of its member ops, so a
+    VM whose CCA differs — or is absent — still has a rank for every op
+    it ends up scheduling.
+    """
+    working = loop
+    member_of: dict[int, int] = {}
+    if cca is not None:
+        dfg = _refined_dfg(loop, latency_model)
+        part = partition_loop(loop, dfg)
+        mapping = map_cca(loop, dfg, config=cca, candidate_opids=part.compute)
+        working = mapping.loop
+        for compound_id, sg in mapping.subgraphs.items():
+            for opid in sg.opids:
+                member_of[opid] = compound_id
+
+    dfg_w = _refined_dfg(working, latency_model)
+    part_w = partition_loop(working, dfg_w)
+    # Priority is computed at the recurrence-constrained II with generic
+    # unit counts (resources are architecture specific; recurrences are
+    # not).
+    from repro.scheduler.mii import compute_rec_mii
+    rec_mii = compute_rec_mii(dfg_w, part_w.compute)
+    if kind == "swing":
+        priority = swing_priority(dfg_w, part_w.compute, rec_mii)
+    else:
+        priority = height_priority(dfg_w, part_w.compute, rec_mii)
+
+    ranks: dict[int, int] = {}
+    for opid, rank in priority.rank.items():
+        members = [m for m, c in member_of.items() if c == opid]
+        if members:
+            for m in members:
+                ranks[m] = rank
+        else:
+            ranks[opid] = rank
+    # Non-compute ops (control/address) get rank -1: handled by
+    # dedicated hardware, never scheduled.
+    for op in loop.body:
+        ranks.setdefault(op.opid, -1)
+
+    annotated = loop.rebuild(annotations=dict(loop.annotations))
+    annotated.annotations[STATIC_PRIORITY_KEY] = ranks
+    return annotated
+
+
+def annotate_static_mii(loop: Loop, units: dict[str, int],
+                        cca: Optional[CCAConfig] = DEFAULT_CCA,
+                        latency_model: LatencyModel = DEFAULT_LATENCY) -> Loop:
+    """Statically compute and record ResMII and RecMII.
+
+    The paper *considers* this encoding and rejects it (Section 4.2,
+    "Static ResMII and RecMII Calculation"): the two loads it saves are
+    cheap, but ResMII "is highly architecture dependent; an incorrect
+    value would either produce a poor schedule (if ResMII was
+    unnecessarily high), or cause scheduling to take much longer (if
+    ResMII was too low)".  Implemented here so that tradeoff can be
+    measured — see ``repro.experiments.static_tradeoffs``.
+
+    Args:
+        units: The resource pools of the accelerator the *compiler*
+            targeted — the value baked into the binary.
+    """
+    working = loop
+    if cca is not None:
+        dfg = _refined_dfg(loop, latency_model)
+        part = partition_loop(loop, dfg)
+        working = map_cca(loop, dfg, config=cca,
+                          candidate_opids=part.compute).loop
+    dfg_w = _refined_dfg(working, latency_model)
+    part_w = partition_loop(working, dfg_w)
+    from repro.scheduler.mii import compute_rec_mii, compute_res_mii
+    res_mii, _per = compute_res_mii(dfg_w, part_w.compute, units)
+    rec_mii = compute_rec_mii(dfg_w, part_w.compute)
+    annotated = loop.rebuild(annotations=dict(loop.annotations))
+    annotated.annotations[STATIC_MII_KEY] = {"res": res_mii, "rec": rec_mii}
+    return annotated
+
+
+def annotate_for_veal(loop: Loop, cca: CCAConfig = DEFAULT_CCA,
+                      latency_model: LatencyModel = DEFAULT_LATENCY) -> Loop:
+    """Full static preparation: CCA identification + priority encoding."""
+    step1 = annotate_static_cca(loop, cca)
+    step2 = annotate_static_priority(step1, cca, latency_model)
+    step2.annotations.update(step1.annotations)
+    return step2

@@ -1,0 +1,252 @@
+"""Byte-level loop encoding with Figure 9 data sections.
+
+VEAL's whole premise is that the loop lives in the binary in the
+*baseline* instruction set, with optional data sections carrying the
+statically computed hints:
+
+* Figure 9(c): "placing a single number for each operation in a data
+  section before the loop itself ... if a loop has 8 instructions, then
+  an operation's priority value is located at PC - 8*instruction_size".
+* Figure 9(b): CCA subgraphs outlined behind BRL markers; here encoded
+  as a subgraph table in the same data section (the semantic content is
+  identical, and :func:`decode_loop` reconstructs the annotations the
+  translator consumes).
+
+The format is self-contained and versioned; ``decode(encode(loop))``
+round-trips exactly, which the encoding tests verify over the whole
+workload suite.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.ir.loop import ArrayDecl, Loop
+from repro.ir.opcodes import Opcode
+from repro.ir.ops import Imm, Operand, Operation, Reg
+from repro.isa.annotations import STATIC_CCA_KEY, STATIC_PRIORITY_KEY
+
+MAGIC = b"VEAL"
+VERSION = 2
+
+_OPCODE_INDEX = {op: n for n, op in enumerate(Opcode)}
+_OPCODE_BY_INDEX = {n: op for n, op in enumerate(Opcode)}
+
+# Operand tags.
+_TAG_INT_REG = 0
+_TAG_FP_REG = 1
+_TAG_IMM_INT = 2
+_TAG_IMM_FLOAT = 3
+
+
+class EncodingError(ValueError):
+    """Malformed VEAL binary image."""
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.buf = bytearray()
+
+    def u8(self, v: int) -> None:
+        self.buf.append(v & 0xFF)
+
+    def u32(self, v: int) -> None:
+        self.buf += struct.pack("<I", v & 0xFFFFFFFF)
+
+    def i64(self, v: int) -> None:
+        self.buf += struct.pack("<q", v)
+
+    def f64(self, v: float) -> None:
+        self.buf += struct.pack("<d", v)
+
+    def text(self, s: str) -> None:
+        raw = s.encode("utf-8")
+        self.u32(len(raw))
+        self.buf += raw
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise EncodingError("truncated image")
+        chunk = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self._take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self._take(8))[0]
+
+    def text(self) -> str:
+        return self._take(self.u32()).decode("utf-8")
+
+
+def _write_operand(w: _Writer, operand: Operand) -> None:
+    if isinstance(operand, Reg):
+        w.u8(_TAG_FP_REG if operand.space == "fp" else _TAG_INT_REG)
+        w.text(operand.name)
+    elif isinstance(operand.value, float):
+        w.u8(_TAG_IMM_FLOAT)
+        w.f64(operand.value)
+    else:
+        w.u8(_TAG_IMM_INT)
+        w.i64(operand.value)
+
+
+def _read_operand(r: _Reader) -> Operand:
+    tag = r.u8()
+    if tag == _TAG_INT_REG:
+        return Reg(r.text(), "int")
+    if tag == _TAG_FP_REG:
+        return Reg(r.text(), "fp")
+    if tag == _TAG_IMM_INT:
+        return Imm(r.i64())
+    if tag == _TAG_IMM_FLOAT:
+        return Imm(r.f64())
+    raise EncodingError(f"bad operand tag {tag}")
+
+
+def _write_op(w: _Writer, op: Operation) -> None:
+    w.u32(op.opid)
+    w.u8(_OPCODE_INDEX[op.opcode])
+    w.u8(len(op.dests))
+    for d in op.dests:
+        _write_operand(w, d)
+    w.u8(len(op.srcs))
+    for s in op.srcs:
+        _write_operand(w, s)
+    w.u8(1 if op.predicate is not None else 0)
+    if op.predicate is not None:
+        _write_operand(w, op.predicate)
+    w.text(op.comment)
+
+
+def _read_op(r: _Reader) -> Operation:
+    opid = r.u32()
+    opcode = _OPCODE_BY_INDEX.get(r.u8())
+    if opcode is None:
+        raise EncodingError("unknown opcode index")
+    dests = []
+    for _ in range(r.u8()):
+        operand = _read_operand(r)
+        if not isinstance(operand, Reg):
+            raise EncodingError("destination must be a register")
+        dests.append(operand)
+    srcs = [_read_operand(r) for _ in range(r.u8())]
+    predicate: Optional[Reg] = None
+    if r.u8():
+        operand = _read_operand(r)
+        if not isinstance(operand, Reg):
+            raise EncodingError("predicate must be a register")
+        predicate = operand
+    comment = r.text()
+    return Operation(opid=opid, opcode=opcode, dests=dests, srcs=srcs,
+                     predicate=predicate, comment=comment)
+
+
+def encode_loop(loop: Loop) -> bytes:
+    """Serialise *loop* (including Figure 9 data sections) to bytes."""
+    w = _Writer()
+    w.buf += MAGIC
+    w.u8(VERSION)
+    w.text(loop.name)
+    w.u32(loop.trip_count)
+    w.u32(loop.invocations)
+
+    # Data section 1: static priority words (Figure 9(c)).
+    ranks: dict[int, int] = loop.annotations.get(STATIC_PRIORITY_KEY, {})
+    w.u32(len(ranks))
+    for opid in sorted(ranks):
+        w.u32(opid)
+        w.i64(ranks[opid])
+
+    # Data section 2: static CCA subgraph table (Figure 9(b)).
+    subgraphs: list[list[int]] = loop.annotations.get(STATIC_CCA_KEY, [])
+    w.u32(len(subgraphs))
+    for sg in subgraphs:
+        w.u32(len(sg))
+        for opid in sg:
+            w.u32(opid)
+
+    # The loop body in the baseline instruction set.
+    w.u32(len(loop.body))
+    for op in loop.body:
+        if op.opcode is Opcode.CCA_OP:
+            raise EncodingError(
+                "CCA compounds are VM-internal; encode the baseline form")
+        _write_op(w, op)
+
+    w.u8(len(loop.live_ins))
+    for reg in loop.live_ins:
+        _write_operand(w, reg)
+    w.u8(len(loop.live_outs))
+    for reg in loop.live_outs:
+        _write_operand(w, reg)
+    w.u8(len(loop.arrays))
+    for arr in loop.arrays:
+        w.text(arr.name)
+        w.u32(arr.length)
+        w.u8(1 if arr.is_float else 0)
+        w.text(arr.may_alias or "")
+    return bytes(w.buf)
+
+
+def decode_loop(data: bytes) -> Loop:
+    """Reconstruct a loop (and its annotations) from bytes."""
+    r = _Reader(data)
+    if r._take(4) != MAGIC:
+        raise EncodingError("bad magic")
+    version = r.u8()
+    if version != VERSION:
+        raise EncodingError(f"unsupported version {version}")
+    name = r.text()
+    trip_count = r.u32()
+    invocations = r.u32()
+
+    ranks: dict[int, int] = {}
+    for _ in range(r.u32()):
+        opid = r.u32()
+        ranks[opid] = r.i64()
+    subgraphs: list[list[int]] = []
+    for _ in range(r.u32()):
+        subgraphs.append([r.u32() for _ in range(r.u32())])
+
+    body = [_read_op(r) for _ in range(r.u32())]
+
+    def read_reg() -> Reg:
+        operand = _read_operand(r)
+        if not isinstance(operand, Reg):
+            raise EncodingError("expected register")
+        return operand
+
+    live_ins = [read_reg() for _ in range(r.u8())]
+    live_outs = [read_reg() for _ in range(r.u8())]
+    arrays = []
+    for _ in range(r.u8()):
+        arr_name = r.text()
+        length = r.u32()
+        is_float = bool(r.u8())
+        alias = r.text()
+        arrays.append(ArrayDecl(arr_name, length, is_float, alias or None))
+
+    loop = Loop(name=name, body=body, live_ins=live_ins,
+                live_outs=live_outs, arrays=arrays, trip_count=trip_count,
+                invocations=invocations)
+    if ranks:
+        loop.annotations[STATIC_PRIORITY_KEY] = ranks
+    if subgraphs:
+        loop.annotations[STATIC_CCA_KEY] = subgraphs
+    return loop

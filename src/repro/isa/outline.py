@@ -1,0 +1,101 @@
+"""Procedural abstraction of CCA subgraphs (Figure 9(b), literally).
+
+"Statically a compiler can identify this subgraph and insert a
+branch-and-link instruction to a new function containing those ops.
+Then, the dynamic translator can recognize these simple function calls
+and attempt to map the instructions onto whatever CCAs are available in
+the LA.  If a statically identified subgraph cannot be executed as a
+single unit on available CCAs, the ops can still be executed
+independently."
+
+:func:`outline_cca` rewrites the loop body so each identified subgraph
+becomes a ``BRL`` to an outlined mini-function (the transformation shown
+between Figure 9(a) and 9(b)); :func:`expand_brl` is what the VM does on
+arrival — splice the callee back inline and remember the grouping as a
+subgraph hint.  ``expand(outline(loop))`` is semantically the identity,
+and the recovered hints drive the cheap static-CCA translation path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cca.model import CCAConfig, DEFAULT_CCA
+from repro.ir.dfg import build_dfg
+from repro.ir.loop import Loop
+from repro.ir.opcodes import Opcode
+from repro.ir.ops import Operation
+from repro.analysis.partition import partition_loop
+from repro.cca.mapper import map_cca
+
+BRL_PREFIX = "cca_fn_"
+
+
+@dataclass
+class OutlinedLoop:
+    """A loop whose CCA subgraphs are hidden behind BRL calls.
+
+    Attributes:
+        loop: The rewritten body (BRL ops in place of the subgraphs).
+        functions: Callee name -> the outlined ops, in dataflow order.
+            Parameters and results are communicated through the original
+            registers, exactly like the paper's figure (the callee reads
+            and writes the caller's registers; there is no ABI).
+    """
+
+    loop: Loop
+    functions: dict[str, list[Operation]] = field(default_factory=dict)
+
+
+def outline_cca(loop: Loop, cca: CCAConfig = DEFAULT_CCA) -> OutlinedLoop:
+    """Statically identify CCA subgraphs and outline them behind BRLs."""
+    dfg = build_dfg(loop)
+    part = partition_loop(loop, dfg)
+    mapping = map_cca(loop, dfg, config=cca, candidate_opids=part.compute)
+    if not mapping.subgraphs:
+        return OutlinedLoop(loop=loop.rebuild(), functions={})
+
+    functions: dict[str, list[Operation]] = {}
+    body: list[Operation] = []
+    ids = itertools.count(max(op.opid for op in loop.body) + 1)
+    # mapping.loop already has the compounds placed correctly; replace
+    # each compound with a BRL and move its inner ops to a function.
+    for op in mapping.loop.body:
+        if op.opcode is not Opcode.CCA_OP:
+            body.append(op.copy())
+            continue
+        name = f"{BRL_PREFIX}{len(functions)}"
+        functions[name] = [inner.copy() for inner in op.inner]
+        brl = Operation(next(ids), Opcode.BRL,
+                        dests=list(op.dests), srcs=list(op.srcs),
+                        comment=f"call {name}")
+        body.append(brl)
+    outlined = loop.rebuild(body=body)
+    return OutlinedLoop(loop=outlined, functions=functions)
+
+
+def expand_brl(outlined: OutlinedLoop) -> tuple[Loop, list[list[int]]]:
+    """The VM's arrival-time inverse: inline every BRL callee.
+
+    Returns the flat baseline-ISA loop plus the recovered subgraph op
+    groups (ready to feed the static-CCA translation path, or to be
+    ignored entirely on a machine with no CCA).
+    """
+    body: list[Operation] = []
+    subgraphs: list[list[int]] = []
+    for op in outlined.loop.body:
+        if op.opcode is Opcode.BRL and op.comment.startswith("call "):
+            name = op.comment[len("call "):]
+            callee = outlined.functions.get(name)
+            if callee is None:
+                raise KeyError(f"BRL target {name!r} has no outlined body")
+            group = []
+            for inner in callee:
+                body.append(inner.copy())
+                group.append(inner.opid)
+            subgraphs.append(group)
+        else:
+            body.append(op.copy())
+    loop = outlined.loop.rebuild(body=body)
+    return loop, subgraphs

@@ -1,0 +1,46 @@
+"""Swing modulo scheduling for loop accelerators."""
+
+from repro.scheduler.mii import (
+    CCA_UNIT,
+    FP_UNIT,
+    INFEASIBLE,
+    INT_UNIT,
+    LOAD_GEN,
+    MIIResult,
+    STORE_GEN,
+    compute_mii,
+    compute_rec_mii,
+    compute_res_mii,
+    sched_resource,
+)
+from repro.scheduler.mrt import ModuloReservationTable
+from repro.scheduler.priority import (
+    PriorityResult,
+    height_priority,
+    swing_priority,
+)
+from repro.scheduler.regalloc import (
+    RegisterAssignment,
+    fits,
+    register_requirements,
+)
+from repro.scheduler.rotation import (
+    LiveRange,
+    PhysicalAssignment,
+    assign_physical,
+    live_ranges,
+    validate_rotation,
+)
+from repro.scheduler.schedule import ModuloSchedule, validate_schedule
+from repro.scheduler.sms import ScheduleFailure, modulo_schedule
+
+__all__ = [
+    "CCA_UNIT", "FP_UNIT", "INFEASIBLE", "INT_UNIT", "LOAD_GEN",
+    "LiveRange", "MIIResult", "ModuloReservationTable", "ModuloSchedule",
+    "PhysicalAssignment", "PriorityResult", "RegisterAssignment",
+    "STORE_GEN", "ScheduleFailure", "assign_physical", "compute_mii",
+    "compute_rec_mii", "compute_res_mii", "fits", "height_priority",
+    "live_ranges", "modulo_schedule", "register_requirements",
+    "sched_resource", "swing_priority", "validate_rotation",
+    "validate_schedule",
+]

@@ -1,0 +1,86 @@
+"""The modulo reservation table.
+
+"Once the ops are prioritized, a modulo reservation table is constructed
+to store the scheduling results.  The table has II rows and a column for
+each FU." (Section 4.1, and the right side of Figure 5.)
+
+Rows are the II cycles of the kernel; columns are FU instances grouped
+by resource pool (integer units, FP units, the CCA, load/store address
+generator issue slots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class ModuloReservationTable:
+    """Tracks per-cycle FU occupancy for one candidate II."""
+
+    def __init__(self, ii: int, units: dict[str, int]) -> None:
+        if ii < 1:
+            raise ValueError("II must be at least 1")
+        self.ii = ii
+        self.units = dict(units)
+        self._used: dict[tuple[int, str], int] = {}
+
+    def cycle_of(self, time: int) -> int:
+        """The kernel row a schedule time lands on (time mod II)."""
+        return time % self.ii
+
+    def available(self, time: int, resource: str) -> bool:
+        """Is a *resource* slot free at ``time mod II``?"""
+        cycle = self.cycle_of(time)
+        return self._used.get((cycle, resource), 0) < self.units.get(resource, 0)
+
+    def reserve(self, time: int, resource: str) -> None:
+        """Claim a slot; caller must have checked :meth:`available`."""
+        if not self.available(time, resource):
+            raise ValueError(
+                f"no free {resource!r} unit at cycle {self.cycle_of(time)}")
+        key = (self.cycle_of(time), resource)
+        self._used[key] = self._used.get(key, 0) + 1
+
+    def release(self, time: int, resource: str) -> None:
+        """Return a slot (used when ejecting an op during backtracking)."""
+        key = (self.cycle_of(time), resource)
+        if self._used.get(key, 0) <= 0:
+            raise ValueError(f"releasing unreserved {resource!r} slot")
+        self._used[key] -= 1
+
+    def occupancy(self, resource: str) -> float:
+        """Fraction of this resource's II slots that are reserved."""
+        total = self.units.get(resource, 0) * self.ii
+        if total == 0:
+            return 0.0
+        used = sum(v for (cycle, r), v in self._used.items() if r == resource)
+        return used / total
+
+    def render(self, placements: dict[int, tuple[int, str]]) -> str:
+        """ASCII rendering like Figure 5's table.
+
+        Args:
+            placements: opid -> (schedule time, resource).
+        """
+        columns: list[tuple[str, int]] = []
+        for resource, count in sorted(self.units.items()):
+            for k in range(count):
+                columns.append((resource, k))
+        grid: dict[tuple[int, str, int], list[int]] = {}
+        slot_of: dict[tuple[int, str], int] = {}
+        for opid, (time, resource) in sorted(placements.items(),
+                                             key=lambda kv: kv[1][0]):
+            cycle = self.cycle_of(time)
+            index = slot_of.get((cycle, resource), 0)
+            slot_of[(cycle, resource)] = index + 1
+            grid.setdefault((cycle, resource, index), []).append(opid)
+        header = "cycle | " + " | ".join(f"{r}{k}" for r, k in columns)
+        lines = [header, "-" * len(header)]
+        for cycle in range(self.ii):
+            cells = []
+            for resource, k in columns:
+                ops = grid.get((cycle, resource, k), [])
+                cells.append(",".join(f"op{o}" for o in ops) or ".")
+            lines.append(f"{cycle:5d} | " + " | ".join(f"{c:>5}" for c in cells))
+        return "\n".join(lines)

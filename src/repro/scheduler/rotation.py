@@ -1,0 +1,164 @@
+"""Physical register assignment with modulo variable expansion.
+
+A value produced in one kernel iteration can still be live while later
+iterations produce *their* copies of the same virtual register; a value
+live for L cycles under initiation interval II needs ``ceil(L / II)``
+physical copies, rotated across iterations (Rau's modulo variable
+expansion — the software analogue of a rotating register file).
+
+:mod:`repro.scheduler.regalloc` computes the per-value copy *demand*;
+this module actually places every copy into a physical register file and
+proves the placement sound: two live ranges sharing a physical register
+never overlap in time, checked over an unrolled window of iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.partition import LoopPartition
+from repro.ir.dfg import DataflowGraph
+from repro.ir.loop import Loop
+from repro.ir.ops import Reg
+from repro.scheduler.schedule import ModuloSchedule
+
+
+@dataclass(frozen=True)
+class LiveRange:
+    """One virtual register's per-iteration lifetime.
+
+    ``start`` is the producer's completion time within its own
+    iteration; ``end`` the latest consumption time (across loop-carried
+    uses, expressed in the producer iteration's frame).  In iteration k
+    the range occupies absolute cycles ``[k*II + start, k*II + end)``.
+    """
+
+    vreg: Reg
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return max(self.end - self.start, 0)
+
+
+@dataclass
+class PhysicalAssignment:
+    """Placement of every live value into physical registers.
+
+    Attributes:
+        copies: vreg -> number of physical copies (modulo expansion).
+        physical: (vreg, copy_index) -> physical register number, per
+            register space.
+        int_used / fp_used: physical registers consumed per space.
+    """
+
+    ranges: dict[Reg, LiveRange]
+    copies: dict[Reg, int]
+    physical: dict[tuple[Reg, int], int]
+    int_used: int
+    fp_used: int
+
+    def register_for(self, vreg: Reg, iteration: int) -> int:
+        """Physical register holding *vreg*'s iteration-*k* value."""
+        n = self.copies[vreg]
+        return self.physical[(vreg, iteration % n)]
+
+
+def live_ranges(loop: Loop, dfg: DataflowGraph, schedule: ModuloSchedule,
+                partition: LoopPartition) -> dict[Reg, LiveRange]:
+    """Per-value live ranges under the modulo schedule.
+
+    Mirrors the demand accounting of
+    :func:`repro.scheduler.regalloc.register_requirements`: load results
+    live in FIFOs, store-data operands stream out, and values consumed
+    the cycle they appear ride the interconnect — none of those occupy
+    registers.
+    """
+    ranges: dict[Reg, LiveRange] = {}
+    ii = schedule.ii
+    for op in loop.body:
+        if op.opid not in partition.compute or op.opid not in schedule.times:
+            continue
+        if op.is_load:
+            continue
+        t_ready = schedule.times[op.opid] + dfg.latency(op.opid)
+        for dest in op.dests:
+            end = t_ready
+            for e in dfg.out_edges(op.opid):
+                if e.kind != "flow" or e.dst not in schedule.times:
+                    continue
+                consumer = loop.op(e.dst)
+                if dest not in consumer.src_regs():
+                    continue
+                if consumer.is_store and len(consumer.srcs) > 2 and \
+                        consumer.srcs[2] == dest and \
+                        consumer.srcs[0] != dest and \
+                        consumer.predicate != dest:
+                    continue
+                end = max(end, schedule.times[e.dst] + ii * e.distance)
+            if dest in loop.live_outs:
+                end = max(end, t_ready + 1)
+            if end > t_ready:
+                current = ranges.get(dest)
+                rng = LiveRange(dest, t_ready, end)
+                if current is None or rng.length > current.length:
+                    ranges[dest] = rng
+    return ranges
+
+
+def assign_physical(loop: Loop, dfg: DataflowGraph,
+                    schedule: ModuloSchedule,
+                    partition: LoopPartition) -> PhysicalAssignment:
+    """Place every live value's copies into physical registers.
+
+    Uses linear-scan per register space over (copy, live-range) pairs;
+    copies of one value are deliberately given distinct physical
+    registers — that is the whole point of the expansion.
+    """
+    ii = schedule.ii
+    ranges = live_ranges(loop, dfg, schedule, partition)
+    copies = {vreg: -(-rng.length // ii) for vreg, rng in ranges.items()}
+    physical: dict[tuple[Reg, int], int] = {}
+    next_free = {"int": 0, "fp": 0}
+    for vreg in sorted(ranges, key=lambda r: (r.space, r.name)):
+        for c in range(copies[vreg]):
+            physical[(vreg, c)] = next_free[vreg.space]
+            next_free[vreg.space] += 1
+    return PhysicalAssignment(ranges=ranges, copies=copies,
+                              physical=physical,
+                              int_used=next_free["int"],
+                              fp_used=next_free["fp"])
+
+
+def validate_rotation(assignment: PhysicalAssignment, ii: int,
+                      window: int = 8) -> list[str]:
+    """Prove no two values sharing a physical register overlap in time.
+
+    Simulates *window* consecutive kernel iterations: value v of
+    iteration k occupies physical register ``register_for(v, k)`` over
+    ``[k*II + start, k*II + end)``.  Any overlap on the same physical
+    register (same space) is a violation — including a value colliding
+    with a later copy of itself, which is exactly what under-provisioned
+    expansion would cause.
+    """
+    problems: list[str] = []
+    occupancy: dict[tuple[str, int], list[tuple[int, int, Reg, int]]] = {}
+    for vreg, rng in assignment.ranges.items():
+        for k in range(window):
+            phys = assignment.register_for(vreg, k)
+            key = (vreg.space, phys)
+            start = k * ii + rng.start
+            end = k * ii + rng.end
+            occupancy.setdefault(key, []).append((start, end, vreg, k))
+    for (space, phys), intervals in occupancy.items():
+        intervals.sort()
+        for (s0, e0, v0, k0), (s1, e1, v1, k1) in zip(intervals,
+                                                      intervals[1:]):
+            if s1 < e0 and not (v0 == v1 and k0 == k1):
+                problems.append(
+                    f"{space} phys r{phys}: {v0} (iter {k0}, "
+                    f"[{s0},{e0})) overlaps {v1} (iter {k1}, "
+                    f"[{s1},{e1}))")
+    return problems

@@ -1,0 +1,170 @@
+"""Swing modulo scheduling: the list scheduler.
+
+Ops are placed in priority order into the modulo reservation table.
+Each op's candidate window is derived from its already-placed
+neighbours: placed predecessors give an earliest start, placed
+successors a latest start, and the scan direction "swings" accordingly
+(forward when pulled from above, backward when pulled from below) so
+values live as briefly as possible.  A window is II cycles wide — if no
+slot in II consecutive cycles is free, none ever will be, so the attempt
+fails and II is incremented (Section 4.1's op-10 walk-through shows the
+increment-on-conflict behaviour at fine grain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.ir.dfg import DataflowGraph
+from repro.scheduler.mii import MIIResult, compute_mii, sched_resource
+from repro.scheduler.mrt import ModuloReservationTable
+from repro.scheduler.priority import PriorityResult, height_priority, swing_priority
+from repro.scheduler.schedule import ModuloSchedule
+
+
+@dataclass
+class ScheduleFailure:
+    """Why a loop could not be modulo scheduled onto the target."""
+
+    reason: str
+    mii: Optional[MIIResult] = None
+
+
+def _try_schedule(dfg: DataflowGraph, order: list[int],
+                  earliest_hint: dict[int, int], ii: int,
+                  units: dict[str, int],
+                  work: Optional[Callable[[int], None]] = None
+                  ) -> Optional[dict[int, int]]:
+    """One list-scheduling attempt at a fixed II."""
+    mrt = ModuloReservationTable(ii, units)
+    times: dict[int, int] = {}
+    scheduled = set()
+    for opid in order:
+        resource = sched_resource(dfg.op(opid))
+        estart: Optional[int] = None
+        lstart: Optional[int] = None
+        for e in dfg.in_edges(opid):
+            if work is not None:
+                work(1)
+            if e.src in times:
+                bound = times[e.src] + e.latency - ii * e.distance
+                estart = bound if estart is None else max(estart, bound)
+        for e in dfg.out_edges(opid):
+            if work is not None:
+                work(1)
+            if e.dst in times:
+                bound = times[e.dst] - dfg.latency(opid) + ii * e.distance
+                lstart = bound if lstart is None else min(lstart, bound)
+        # Schedule times may be negative during construction (bottom-up
+        # placement below already-placed successors); the whole schedule
+        # is normalised to start at 0 afterwards, which preserves both
+        # the dependence inequalities and the mod-II resource pattern.
+        if estart is None and lstart is None:
+            base = earliest_hint.get(opid, 0)
+            candidates = range(base, base + ii)
+        elif lstart is None:
+            candidates = range(estart, estart + ii)
+        elif estart is None:
+            candidates = range(lstart, lstart - ii, -1)
+        else:
+            top = min(lstart, estart + ii - 1)
+            if top < estart:
+                return None
+            candidates = range(estart, top + 1)
+        placed_at: Optional[int] = None
+        for t in candidates:
+            if work is not None:
+                work(1)
+            if mrt.available(t, resource):
+                placed_at = t
+                break
+        if placed_at is None:
+            return None
+        mrt.reserve(placed_at, resource)
+        times[opid] = placed_at
+        scheduled.add(opid)
+    if times:
+        low = min(times.values())
+        if low != 0:
+            times = {opid: t - low for opid, t in times.items()}
+    return times
+
+
+def modulo_schedule(dfg: DataflowGraph, schedulable: set[int],
+                    units: dict[str, int], max_ii: int,
+                    priority: Optional[PriorityResult] = None,
+                    priority_kind: str = "swing",
+                    work: Optional[Callable[[int], None]] = None,
+                    mii_result: Optional[MIIResult] = None,
+                    priority_work: Optional[Callable[[int], None]] = None,
+                    ) -> ModuloSchedule | ScheduleFailure:
+    """Modulo schedule *schedulable* ops of *dfg* onto *units*.
+
+    Args:
+        dfg: The loop's dataflow graph (after CCA mapping).
+        schedulable: The compute partition's opids.
+        units: Resource pool sizes ("int", "fp", "cca", "ldgen", "stgen").
+        max_ii: The accelerator's maximum supported II — "loops that
+            cannot be scheduled at the maximum II will not be
+            accelerated" (Section 3.1).
+        priority: Precomputed ordering (the statically-encoded priority
+            of Figure 9(c)); computed dynamically when None.
+        priority_kind: "swing" or "height" for dynamic computation.
+        work: Translation cost-model callback.
+        mii_result: Precomputed MII (statically-encoded variant).
+    """
+    if not schedulable:
+        return ScheduleFailure("no schedulable operations")
+    if mii_result is None:
+        mii_result = compute_mii(dfg, schedulable, units, work)
+    if not mii_result.feasible:
+        return ScheduleFailure(
+            "resource class required by the loop is absent", mii_result)
+    mii = mii_result.mii
+    if mii > max_ii:
+        return ScheduleFailure(
+            f"MII {mii} exceeds accelerator maximum II {max_ii}", mii_result)
+    static_priority = priority is not None
+
+    def orders_for(ii: int) -> list[PriorityResult]:
+        """Candidate orderings for one II attempt.
+
+        With a static encoding the order is fixed (that is the point of
+        the encoding); a cheap program-order fallback still applies so a
+        marginal loop degrades to a worse schedule rather than to the
+        scalar core.  Dynamically, the priority is recomputed at each
+        candidate II — E/L windows tighten as II grows, which is how the
+        SMS algorithm itself iterates — with the height order as a
+        secondary attempt.
+        """
+        pwork = priority_work if priority_work is not None else work
+        candidates: list[PriorityResult] = []
+        if static_priority:
+            assert priority is not None
+            candidates.append(priority)
+        elif priority_kind == "swing":
+            candidates.append(swing_priority(dfg, schedulable, ii, pwork))
+            candidates.append(height_priority(dfg, schedulable, ii, pwork))
+        elif priority_kind == "height":
+            candidates.append(height_priority(dfg, schedulable, ii, pwork))
+        else:
+            raise ValueError(f"unknown priority kind {priority_kind!r}")
+        candidates.append(PriorityResult.from_order(sorted(schedulable)))
+        return candidates
+
+    def normalise(result: PriorityResult) -> list[int]:
+        order = [opid for opid in result.order if opid in schedulable]
+        missing = schedulable - set(order)
+        return order + sorted(missing)
+
+    for ii in range(mii, max_ii + 1):
+        for candidate in orders_for(ii):
+            times = _try_schedule(dfg, normalise(candidate),
+                                  candidate.earliest, ii, units, work)
+            if times is not None:
+                return ModuloSchedule(ii=ii, times=times, units=dict(units),
+                                      mii=mii, res_mii=mii_result.res_mii,
+                                      rec_mii=mii_result.rec_mii)
+    return ScheduleFailure(
+        f"no feasible schedule up to maximum II {max_ii}", mii_result)

@@ -1,0 +1,20 @@
+"""Static loop transformations (too complex for the dynamic VM)."""
+
+from repro.transform.fission import FissionError, fission_loop
+from repro.transform.inline import (
+    InlinableFunction,
+    inline_calls,
+    polynomial_sin,
+)
+from repro.transform.predication import (
+    DiamondLoopSpec,
+    diamond_cfg,
+    if_convert,
+)
+from repro.transform.unroll import UnrollError, unroll_loop
+
+__all__ = [
+    "DiamondLoopSpec", "FissionError", "InlinableFunction", "UnrollError",
+    "diamond_cfg", "fission_loop", "if_convert", "inline_calls",
+    "polynomial_sin", "unroll_loop",
+]

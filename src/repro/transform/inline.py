@@ -1,0 +1,128 @@
+"""Function inlining.
+
+"Loops with function calls cannot be modulo scheduled.  This problem
+can be mitigated through intelligent function inlining" (Section 2.2);
+Figure 7 attributes much of the accelerator's benefit to this static
+transform — "the 0 fraction shown by many benchmarks ... means the
+runtime system was not able to retarget any of the important loops
+without proactive help from the compiler."
+
+The model: a library of :class:`InlinableFunction` bodies (straight-line
+op sequences with named parameter and result registers).  A ``CALL``
+whose target is in the library is replaced by the callee body with
+temporaries renamed; a call to anything else (an opaque math-library
+entry, say) stays — and keeps the loop off the accelerator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.ir.loop import Loop
+from repro.ir.opcodes import Opcode
+from repro.ir.ops import Imm, Operand, Operation, Reg
+
+
+@dataclass
+class InlinableFunction:
+    """A leaf function the compiler can see into.
+
+    Attributes:
+        name: Symbol the CALL references (carried in ``op.comment`` as
+            ``call <name>``; the reproduction ISA has no relocation).
+        params: Registers the body reads as arguments, positionally.
+        results: Registers holding return values, positionally.
+        body: Straight-line ops (no control flow, no further calls).
+    """
+
+    name: str
+    params: list[Reg]
+    results: list[Reg]
+    body: list[Operation]
+
+
+def _call_target(op: Operation) -> str:
+    if op.comment.startswith("call "):
+        return op.comment[len("call "):]
+    return ""
+
+
+def inline_calls(loop: Loop, library: dict[str, InlinableFunction]) -> Loop:
+    """Inline every CALL whose target is in *library*.
+
+    Arguments bind positionally: the call's register/immediate sources
+    map onto the callee's parameter registers, its destinations onto
+    the callee's results.  Callee-local registers get unique names per
+    call site.  Calls to unknown targets are left in place.
+    """
+    ids = itertools.count(max(op.opid for op in loop.body) + 1)
+    site = itertools.count()
+    body: list[Operation] = []
+    inlined_any = False
+    for op in loop.body:
+        target = _call_target(op) if op.opcode is Opcode.CALL else ""
+        fn = library.get(target)
+        if fn is None:
+            body.append(op.copy())
+            continue
+        inlined_any = True
+        k = next(site)
+        mapping: dict[Reg, Operand] = {}
+        for param, arg in zip(fn.params, op.srcs):
+            mapping[param] = arg
+        for result, dest in zip(fn.results, op.dests):
+            mapping[result] = dest
+
+        def rename(reg: Reg) -> Reg:
+            mapped = mapping.get(reg)
+            if isinstance(mapped, Reg):
+                return mapped
+            return Reg(f"{reg.name}.in{k}", reg.space)
+
+        for inner in fn.body:
+            new = inner.copy(opid=next(ids))
+            new_srcs: list[Operand] = []
+            for s in new.srcs:
+                if isinstance(s, Reg):
+                    mapped = mapping.get(s)
+                    new_srcs.append(mapped if mapped is not None
+                                    else rename(s))
+                else:
+                    new_srcs.append(s)
+            new.srcs = new_srcs
+            new.dests = [rename(d) for d in new.dests]
+            if new.predicate is not None:
+                new.predicate = rename(new.predicate)
+            body.append(new)
+    new_loop = loop.rebuild(body=body)
+    if inlined_any:
+        transforms = list(new_loop.annotations.get("static_transforms", []))
+        if "inlining" not in transforms:
+            transforms.append("inlining")
+        new_loop.annotations["static_transforms"] = transforms
+    return new_loop
+
+
+def polynomial_sin() -> InlinableFunction:
+    """A 3-term polynomial ``sin`` the compiler can inline — the kind of
+    math-library body whose visibility decides whether a loop is a
+    "Subroutine" loop (Figure 2) or an accelerable one."""
+    x = Reg("sin_x", "fp")
+    r = Reg("sin_r", "fp")
+    x2 = Reg("sin_x2", "fp")
+    x3 = Reg("sin_x3", "fp")
+    x5 = Reg("sin_x5", "fp")
+    t3 = Reg("sin_t3", "fp")
+    t5 = Reg("sin_t5", "fp")
+    acc = Reg("sin_acc", "fp")
+    body = [
+        Operation(0, Opcode.FMUL, [x2], [x, x]),
+        Operation(1, Opcode.FMUL, [x3], [x2, x]),
+        Operation(2, Opcode.FMUL, [x5], [x3, x2]),
+        Operation(3, Opcode.FMUL, [t3], [x3, Imm(-1.0 / 6.0)]),
+        Operation(4, Opcode.FMUL, [t5], [x5, Imm(1.0 / 120.0)]),
+        Operation(5, Opcode.FADD, [acc], [x, t3]),
+        Operation(6, Opcode.FADD, [r], [acc, t5]),
+    ]
+    return InlinableFunction("sin", params=[x], results=[r], body=body)

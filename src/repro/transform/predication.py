@@ -1,0 +1,170 @@
+"""If-conversion (full predication).
+
+The accelerator supports no control flow inside the loop body:
+"Branches within the loop body are fully predicated enabling very
+simple logic in the accelerator" (Section 2.1).  A loop whose body is
+an if/else diamond must be if-converted by the *static* compiler
+("aggressive predication", Figure 7) before the runtime can touch it —
+the VM's loop identification rejects multi-block bodies outright.
+
+This module provides both directions of that story:
+
+* :func:`diamond_cfg` builds the multi-block form a normal compiler
+  would emit (which :func:`repro.ir.cfg.identify_loops` rejects), and
+* :func:`if_convert` produces the fully predicated single-block loop,
+  renaming branch-local definitions and inserting SELECTs at the merge.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.cfg import BasicBlock, ControlFlowGraph
+from repro.ir.loop import ArrayDecl, Loop
+from repro.ir.opcodes import Opcode
+from repro.ir.ops import Imm, Operation, Reg
+
+
+@dataclass
+class DiamondLoopSpec:
+    """A structured description of a loop body with one if/else.
+
+    Attributes:
+        name: Loop name.
+        header: Straight-line ops ending with the definition of ``cond``.
+        cond: The branch condition register.
+        then_ops / else_ops: The two arms.  Registers they define are
+            branch-local or merged (a register defined in both arms, or
+            defined in one arm and live before the diamond, is merged
+            with a SELECT).
+        tail: Ops after the merge, *excluding* loop control.
+        trip_count / arrays / live_ins / live_outs: As on :class:`Loop`.
+    """
+
+    name: str
+    header: list[Operation]
+    cond: Reg
+    then_ops: list[Operation]
+    else_ops: list[Operation]
+    tail: list[Operation]
+    trip_count: int = 64
+    invocations: int = 1
+    arrays: list[ArrayDecl] = field(default_factory=list)
+    live_ins: list[Reg] = field(default_factory=list)
+    live_outs: list[Reg] = field(default_factory=list)
+    counter: Reg = field(default_factory=lambda: Reg("i"))
+    counter_step: int = 1
+
+    def control_ops(self, next_id: itertools.count) -> list[Operation]:
+        cond = Reg(f"{self.name}_bound")
+        return [
+            Operation(next(next_id), Opcode.ADD, [self.counter],
+                      [self.counter, Imm(self.counter_step)],
+                      comment="induction update"),
+            Operation(next(next_id), Opcode.CMPLT, [cond],
+                      [self.counter,
+                       Imm(self.trip_count * self.counter_step)],
+                      comment="loop bound check"),
+            Operation(next(next_id), Opcode.BR, [], [cond],
+                      comment="loop-back branch"),
+        ]
+
+
+def _fresh_ids(spec: DiamondLoopSpec) -> itertools.count:
+    used = [op.opid for ops in (spec.header, spec.then_ops, spec.else_ops,
+                                spec.tail) for op in ops]
+    return itertools.count((max(used) + 1) if used else 0)
+
+
+def diamond_cfg(spec: DiamondLoopSpec) -> ControlFlowGraph:
+    """The loop as a normal compiler emits it: four blocks plus glue.
+
+    ``header -> then | else -> latch -> header | exit``.  This is the
+    shape the VM's SCC-based identification finds but cannot extract a
+    single fully-predicated body from.
+    """
+    ids = _fresh_ids(spec)
+    branch_to_then = Operation(next(ids), Opcode.BR, [], [spec.cond],
+                               comment="diamond branch")
+    header = BasicBlock("header", ops=[op.copy() for op in spec.header]
+                        + [branch_to_then],
+                        successors=["then", "else"])
+    then_block = BasicBlock("then", ops=[op.copy() for op in spec.then_ops],
+                            successors=["latch"])
+    else_block = BasicBlock("else", ops=[op.copy() for op in spec.else_ops],
+                            successors=["latch"])
+    latch_ops = [op.copy() for op in spec.tail] + spec.control_ops(ids)
+    latch = BasicBlock("latch", ops=latch_ops,
+                       successors=["header", "exit"])
+    entry = BasicBlock("entry", successors=["header"])
+    exit_block = BasicBlock("exit")
+    return ControlFlowGraph("entry", [entry, header, then_block, else_block,
+                                      latch, exit_block])
+
+
+def if_convert(spec: DiamondLoopSpec) -> Loop:
+    """Produce the fully predicated single-block loop.
+
+    Both arms execute unconditionally into renamed destinations; each
+    merged register gets a ``SELECT(cond, then_value, else_value)``.
+    Stores inside the arms are predicated instead (a squashed store has
+    no architectural effect, so no rename is needed).
+    """
+    ids = _fresh_ids(spec)
+    body: list[Operation] = [op.copy() for op in spec.header]
+
+    then_defs = {d for op in spec.then_ops for d in op.dests}
+    else_defs = {d for op in spec.else_ops for d in op.dests}
+    merged = sorted(then_defs | else_defs,
+                    key=lambda r: (r.space, r.name))
+    not_cond = Reg(f"{spec.name}_ncond")
+    body.append(Operation(next(ids), Opcode.CMPEQ, [not_cond],
+                          [spec.cond, Imm(0)], comment="inverted predicate"))
+
+    def emit_arm(ops: list[Operation], arm: str, pred: Reg,
+                 defs_here: set[Reg]) -> dict[Reg, Reg]:
+        renames: dict[Reg, Reg] = {}
+        for op in ops:
+            new = op.copy(opid=next(ids))
+            new.srcs = [renames.get(s, s) if isinstance(s, Reg) else s
+                        for s in new.srcs]
+            if new.is_store:
+                # Predicated store: squashed when the arm is not taken.
+                new.predicate = pred
+            else:
+                new.dests = []
+                for d in op.dests:
+                    renamed = Reg(f"{d.name}.{arm}", d.space)
+                    renames[d] = renamed
+                    new.dests.append(renamed)
+            body.append(new)
+        return renames
+
+    then_renames = emit_arm(spec.then_ops, "t", spec.cond, then_defs)
+    else_renames = emit_arm(spec.else_ops, "e", not_cond, else_defs)
+
+    for reg in merged:
+        then_val = then_renames.get(reg, reg)
+        else_val = else_renames.get(reg, reg)
+        body.append(Operation(next(ids), Opcode.SELECT, [reg],
+                              [spec.cond, then_val, else_val],
+                              comment=f"merge {reg.name}"))
+
+    body.extend(op.copy() for op in spec.tail)
+    body.extend(spec.control_ops(ids))
+
+    loop = Loop(
+        name=spec.name,
+        body=body,
+        live_ins=list(spec.live_ins),
+        live_outs=list(spec.live_outs),
+        arrays=list(spec.arrays),
+        trip_count=spec.trip_count,
+        invocations=spec.invocations,
+    )
+    if spec.counter not in loop.live_ins:
+        loop.live_ins.append(spec.counter)
+    loop.annotations["static_transforms"] = ["if_conversion"]
+    return loop

@@ -1,0 +1,68 @@
+"""Loop unrolling and re-rolling support.
+
+The paper's static preparation includes "reduced unrolling" (Figure 7):
+source loops often arrive over- or under-unrolled for the accelerator,
+and the unroll factor is a static decision the dynamic translator
+cannot revisit.  :func:`unroll_loop` replicates the body — textual
+def-use semantics make plain replication semantically exact, including
+in-place updates like induction variables and accumulators — which
+multiplies per-iteration work (more ResMII pressure, fewer iterations).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.ir.loop import Loop
+from repro.ir.opcodes import Opcode
+from repro.ir.ops import Operation
+
+
+class UnrollError(ValueError):
+    """The loop cannot be unrolled by the requested factor."""
+
+
+def unroll_loop(loop: Loop, factor: int) -> Loop:
+    """Unroll *loop* by *factor*.
+
+    The trip count must be divisible by *factor* (the general case needs
+    a remainder loop, which the accelerator-facing compiler avoids by
+    choosing factors that divide the iteration space).  Copies 0..f-2
+    keep their induction updates but drop the compare/branch; the final
+    copy keeps the original control tail.
+    """
+    if factor < 1:
+        raise UnrollError("factor must be >= 1")
+    if factor == 1:
+        return loop.rebuild()
+    if loop.trip_count % factor != 0:
+        raise UnrollError(
+            f"trip count {loop.trip_count} not divisible by {factor}")
+    branch = loop.branch
+    if branch is None:
+        raise UnrollError("loop has no loop-back branch")
+    # The compare feeding the branch is dropped from all but the last copy.
+    cond_srcs = set(branch.src_regs())
+    drop_in_early_copies = {branch.opid}
+    for op in loop.body:
+        if any(d in cond_srcs for d in op.dests) and \
+                op.opcode.value.startswith("cmp"):
+            drop_in_early_copies.add(op.opid)
+
+    ids = itertools.count(max(op.opid for op in loop.body) + 1)
+    body: list[Operation] = []
+    for copy_index in range(factor):
+        last = copy_index == factor - 1
+        for op in loop.body:
+            if not last and op.opid in drop_in_early_copies:
+                continue
+            new_id = op.opid if copy_index == 0 else next(ids)
+            body.append(op.copy(opid=new_id))
+
+    new = loop.rebuild(body=body, name=f"{loop.name}_x{factor}",
+                       trip_count=loop.trip_count // factor)
+    transforms = list(new.annotations.get("static_transforms", []))
+    if "unrolling" not in transforms:
+        transforms.append("unrolling")
+    new.annotations["static_transforms"] = transforms
+    return new

@@ -1,0 +1,22 @@
+"""Co-designed virtual machine: translator, code cache, runtime."""
+
+from repro.vm.codecache import CacheStats, CodeCache
+from repro.vm.costmodel import (
+    DEFAULT_WEIGHTS,
+    PHASES,
+    TranslationMeter,
+    translation_cycles,
+)
+from repro.vm.runtime import AppRun, LoopOutcome, VMConfig, VirtualMachine
+from repro.vm.translator import (
+    TranslationOptions,
+    TranslationResult,
+    translate_loop,
+)
+
+__all__ = [
+    "AppRun", "CacheStats", "CodeCache", "DEFAULT_WEIGHTS", "LoopOutcome",
+    "PHASES", "TranslationMeter", "TranslationOptions",
+    "TranslationResult", "VMConfig", "VirtualMachine",
+    "translate_loop", "translation_cycles",
+]

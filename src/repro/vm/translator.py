@@ -1,0 +1,224 @@
+"""The dynamic loop translator.
+
+Drives the full pipeline of Section 4.1 — schedulability checking,
+control/stream separation, CCA mapping, MII calculation, priority
+computation, modulo scheduling, register assignment — against a concrete
+accelerator, charging every phase's work into a
+:class:`~repro.vm.costmodel.TranslationMeter`.
+
+The static/dynamic tradeoffs of Section 4.2 are expressed as
+:class:`TranslationOptions`:
+
+* ``use_static_cca`` — consume the Figure 9(b) annotation instead of
+  running greedy subgraph identification.
+* ``use_static_priority`` — consume the Figure 9(c) ranks instead of
+  computing Swing priority.
+* ``priority_kind="height"`` — the cheaper height-based function (the
+  "Fully Dynamic Height Priority" configuration of Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.accelerator.config import LAConfig
+from repro.accelerator.machine import KernelImage
+from repro.analysis.dependence import refine_memory_edges
+from repro.analysis.partition import partition_loop
+from repro.analysis.schedulability import check_schedulability
+from repro.cca.mapper import apply_subgraphs, map_cca
+from repro.ir.dfg import build_dfg
+from repro.ir.loop import Loop
+from repro.ir.opcodes import LatencyModel
+from repro.isa.annotations import (
+    STATIC_CCA_KEY,
+    STATIC_MII_KEY,
+    STATIC_PRIORITY_KEY,
+)
+from repro.scheduler.mii import MIIResult, compute_rec_mii, compute_res_mii
+from repro.scheduler.priority import PriorityResult
+from repro.scheduler.regalloc import fits, register_requirements
+from repro.scheduler.rotation import assign_physical
+from repro.scheduler.schedule import ModuloSchedule
+from repro.scheduler.sms import ScheduleFailure, modulo_schedule
+from repro.vm.costmodel import TranslationMeter
+
+
+@dataclass(frozen=True)
+class TranslationOptions:
+    """Which phases run dynamically vs. consume static encodings."""
+
+    use_static_cca: bool = False
+    use_static_priority: bool = False
+    #: Consume statically encoded ResMII/RecMII (the Section 4.2 option
+    #: the paper evaluates and REJECTS as too architecture dependent;
+    #: kept for the static_tradeoffs experiment).
+    use_static_mii: bool = False
+    priority_kind: str = "swing"  # "swing" or "height"
+    latency_model: LatencyModel = field(default_factory=LatencyModel)
+
+    @staticmethod
+    def fully_dynamic() -> "TranslationOptions":
+        return TranslationOptions()
+
+    @staticmethod
+    def fully_dynamic_height() -> "TranslationOptions":
+        return TranslationOptions(priority_kind="height")
+
+    @staticmethod
+    def hybrid() -> "TranslationOptions":
+        """Static CCA + static priority: the paper's recommendation."""
+        return TranslationOptions(use_static_cca=True,
+                                  use_static_priority=True)
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of translating one loop."""
+
+    loop_name: str
+    image: Optional[KernelImage]
+    failure: Optional[str]
+    meter: TranslationMeter
+
+    @property
+    def ok(self) -> bool:
+        return self.image is not None
+
+    @property
+    def instructions(self) -> float:
+        return self.meter.total_instructions()
+
+
+def translate_loop(loop: Loop, config: LAConfig,
+                   options: TranslationOptions = TranslationOptions()
+                   ) -> TranslationResult:
+    """Translate *loop* for *config*; never raises on unsupported loops.
+
+    Any failure (unschedulable shape, too many streams, MII above the
+    control store, register pressure) yields ``image=None`` with the
+    reason, and the loop simply keeps running on the baseline core —
+    exactly the fall-back the virtualised interface guarantees.
+    """
+    meter = TranslationMeter()
+    lat = options.latency_model
+
+    def fail(reason: str) -> TranslationResult:
+        return TranslationResult(loop.name, None, reason, meter)
+
+    # Phase 1: identification / schedulability.
+    dfg = build_dfg(loop, lat, work=meter.charger("identify"))
+    report = check_schedulability(
+        loop, dfg, work=meter.charger("identify"),
+        allow_speculation=config.supports_speculation)
+    if not report.ok:
+        reasons = "; ".join(report.reasons) or report.category.value
+        return fail(f"not modulo schedulable: {reasons}")
+    streams = report.streams
+    assert streams is not None
+
+    # Phase 2: separate control and memory streams.  With every access
+    # proven affine, the conservative memory-ordering edges are refined
+    # to exact lattice-test dependences (interleaved store streams stop
+    # serialising each other).
+    dfg = refine_memory_edges(loop, dfg, streams)
+    part = partition_loop(loop, dfg, work=meter.charger("partition"))
+    if streams.num_load_streams > config.load_streams:
+        return fail(f"{streams.num_load_streams} load streams > "
+                    f"{config.load_streams} supported")
+    if streams.num_store_streams > config.store_streams:
+        return fail(f"{streams.num_store_streams} store streams > "
+                    f"{config.store_streams} supported")
+
+    # Phase 3: CCA mapping.
+    mapped = loop
+    if config.num_ccas > 0:
+        if options.use_static_cca and STATIC_CCA_KEY in loop.annotations:
+            mapping = apply_subgraphs(
+                loop, loop.annotations[STATIC_CCA_KEY], dfg,
+                config=config.cca, candidate_opids=part.compute,
+                work=meter.charger("cca"))
+        else:
+            mapping = map_cca(loop, dfg, config=config.cca,
+                              candidate_opids=part.compute,
+                              work=meter.charger("cca"))
+        mapped = mapping.loop
+
+    if mapped is not loop:
+        dfg2 = refine_memory_edges(
+            mapped, build_dfg(mapped, lat, work=meter.charger("partition")),
+            streams)
+        part2 = partition_loop(mapped, dfg2, work=meter.charger("partition"))
+    else:
+        dfg2, part2 = dfg, part
+
+    # Phase 4: minimum II.
+    units = config.units()
+    if options.use_static_mii and STATIC_MII_KEY in loop.annotations:
+        # "the VM could recover these values with two loads" — but the
+        # recovered ResMII reflects the architecture the COMPILER saw.
+        encoded = loop.annotations[STATIC_MII_KEY]
+        meter.charge("resmii", 1)
+        meter.charge("recmii", 1)
+        mii = MIIResult(res_mii=encoded["res"], rec_mii=encoded["rec"],
+                        per_resource={})
+    else:
+        res_mii, per_resource = compute_res_mii(
+            dfg2, part2.compute, units, meter.charger("resmii"))
+        rec_mii = compute_rec_mii(dfg2, part2.compute,
+                                  meter.charger("recmii"))
+        mii = MIIResult(res_mii=res_mii, rec_mii=rec_mii,
+                        per_resource=per_resource)
+    if not mii.feasible:
+        return fail("loop requires a resource class the accelerator lacks")
+
+    # Phase 5: priority.
+    priority: Optional[PriorityResult] = None
+    if options.use_static_priority and STATIC_PRIORITY_KEY in loop.annotations:
+        ranks: dict[int, int] = loop.annotations[STATIC_PRIORITY_KEY]
+        effective: dict[int, int] = {}
+        for opid in part2.compute:
+            op = mapped.op(opid)
+            if op.inner:
+                member_ranks = [ranks[m.opid] for m in op.inner
+                                if m.opid in ranks and ranks[m.opid] >= 0]
+                effective[opid] = min(member_ranks) if member_ranks else 0
+            else:
+                effective[opid] = ranks.get(opid, 10 ** 6)
+            meter.charge("priority", 1)  # one load per op (Figure 9(c))
+        order = sorted(part2.compute, key=lambda o: (effective[o], o))
+        priority = PriorityResult.from_order(order)
+
+    # Phases 5 (dynamic case) + 6: priority and scheduling.  When no
+    # static ranks exist, the scheduler recomputes the priority at each
+    # candidate II (charged to the priority phase), exactly the work the
+    # static encoding is designed to eliminate.
+    result = modulo_schedule(
+        dfg2, part2.compute, units, config.max_ii,
+        priority=priority, priority_kind=options.priority_kind,
+        work=meter.charger("scheduling"),
+        priority_work=meter.charger("priority"),
+        mii_result=mii)
+    if isinstance(result, ScheduleFailure):
+        return fail(result.reason)
+    schedule = result
+
+    # Phase 7: register assignment.
+    registers = register_requirements(mapped, dfg2, schedule, part2,
+                                      meter.charger("regalloc"))
+    if not fits(registers, config.num_int_regs, config.num_fp_regs):
+        return fail(f"register demand (int {registers.int_regs}, fp "
+                    f"{registers.fp_regs}) exceeds the register files")
+
+    # Modulo variable expansion: place every cross-stage value's
+    # copies into physical registers (part of the register-assignment
+    # postpass; validated by the rotation tests).
+    rotation = assign_physical(mapped, dfg2, schedule, part2)
+    meter.charge("regalloc", len(rotation.ranges) + 1)
+
+    image = KernelImage(loop=mapped, dfg=dfg2, partition=part2,
+                        schedule=schedule, streams=streams,
+                        registers=registers, config=config,
+                        rotation=rotation)
+    return TranslationResult(loop.name, image, None, meter)

@@ -1,0 +1,20 @@
+"""Workloads: kernel library, benchmark suite, synthetic generator."""
+
+from repro.workloads.example_fig5 import fig5_loop
+from repro.workloads.generator import GeneratorSpec, generate_loop
+from repro.workloads.suite import (
+    Benchmark,
+    DEFAULT_SCALARS,
+    acyclic_probe,
+    all_benchmarks,
+    benchmark_by_name,
+    control_benchmarks,
+    fissioned,
+    media_fp_benchmarks,
+)
+
+__all__ = [
+    "Benchmark", "DEFAULT_SCALARS", "GeneratorSpec", "acyclic_probe",
+    "all_benchmarks", "benchmark_by_name", "control_benchmarks",
+    "fig5_loop", "fissioned", "generate_loop", "media_fp_benchmarks",
+]

@@ -1,0 +1,75 @@
+"""The worked example loop of the paper's Figure 5.
+
+The 15-op loop body used throughout Section 4.1 to illustrate
+translation.  Its structure (reconstructed from the figure and the
+text):
+
+* ops 1-2: a load stream (pointer increment + load),
+* ops 3-10: computation with two 4-cycle recurrences — ``3-(5,6,8)-9``
+  (which becomes ``3-16-9`` after CCA collapse) and ``4-7``,
+* ops 11-12: a store stream,
+* ops 13-15: induction update, compare, loop-back branch.
+
+Known-good facts the tests assert (all stated in the paper):
+
+* the CCA mapper collapses exactly ops 5, 6, 8 into one compound (op 16),
+* ops 7 and 10 are NOT combined (it would lengthen the 4-7 recurrence),
+* RecMII = 4 (both recurrences are 4 cycles), ResMII = ceil(5/2) = 3
+  with 2 integer units, so II = 4,
+* op 10 lands in a later stage (schedule time 5 in the paper's table).
+
+Multiplies take 3 cycles, the CCA takes 2, everything else 1 — the
+default latency model.
+"""
+
+from __future__ import annotations
+
+from repro.ir.loop import ArrayDecl, Loop
+from repro.ir.opcodes import Opcode
+from repro.ir.ops import Imm, Operation, Reg
+
+
+def fig5_loop(trip_count: int = 64) -> Loop:
+    """Build the Figure 5 example loop (opids match the paper, 1-based)."""
+    src = Reg("src")     # load stream pointer      (op 1 updates it)
+    dst = Reg("dst")     # store stream pointer     (op 11 updates it)
+    i = Reg("i")         # induction variable       (op 13 updates it)
+    t2, t3, t4, t5, t6 = (Reg(n) for n in ("t2", "t3", "t4", "t5", "t6"))
+    t7, t8, t9, t10, t14 = (Reg(n) for n in ("t7", "t8", "t9", "t10", "t14"))
+
+    ops = [
+        # op 1: advance the load stream pointer.
+        Operation(1, Opcode.ADD, [src], [src, Imm(1)], comment="load addr"),
+        # op 2: the load itself.
+        Operation(2, Opcode.LOAD, [t2], [src, Imm(0)]),
+        # op 3: shl — on recurrence 3-(5,6,8)-9 via t9 (distance 1).
+        Operation(3, Opcode.SHL, [t3], [t9, Imm(1)]),
+        # op 4: mpy — on recurrence 4-7 via t7 (distance 1).
+        Operation(4, Opcode.MUL, [t4], [t7, Imm(3)]),
+        # ops 5, 6, 8: the CCA-able cluster (and / sub / xor).
+        Operation(5, Opcode.AND, [t5], [t3, t2]),
+        Operation(6, Opcode.SUB, [t6], [t5, t4]),
+        Operation(7, Opcode.OR, [t7], [t4, t2]),
+        Operation(8, Opcode.XOR, [t8], [t5, t2]),
+        # op 9: shr closes the first recurrence (3 -> 5 -> 8 -> 9 -> 3).
+        Operation(9, Opcode.SHR, [t9], [t8, Imm(2)]),
+        # op 10: depends on ops 7 and 9 (paper: scheduled at time 5).
+        Operation(10, Opcode.ADD, [t10], [t7, t9]),
+        # op 11: advance the store stream pointer.
+        Operation(11, Opcode.ADD, [dst], [dst, Imm(1)], comment="store addr"),
+        # op 12: the store.
+        Operation(12, Opcode.STORE, [], [dst, Imm(0), t10]),
+        # ops 13-15: loop control.
+        Operation(13, Opcode.ADD, [i], [i, Imm(1)], comment="induction"),
+        Operation(14, Opcode.CMPLT, [t14], [i, Imm(trip_count)]),
+        Operation(15, Opcode.BR, [], [t14]),
+    ]
+    return Loop(
+        name="fig5_example",
+        body=ops,
+        live_ins=[src, dst, i, t7, t9],
+        live_outs=[t6, t10],
+        arrays=[ArrayDecl("src", length=trip_count + 8),
+                ArrayDecl("dst", length=trip_count + 8)],
+        trip_count=trip_count,
+    )

@@ -1,0 +1,646 @@
+"""Loop kernel library.
+
+Hand-built baseline-ISA loops with the op mixes, recurrence structures
+and memory stream counts of the paper's MediaBench / SPEC workloads.
+The Trimaran-compiled binaries are not reproducible offline, so these
+kernels are the documented substitution (DESIGN.md): what matters to
+every experiment is the dataflow shape each loop presents to the
+translator — streams, recurrences, integer/FP mix, CCA-able clusters —
+and these kernels present the same shapes the paper's Section 3.1
+analysis describes.
+
+All kernels are fully predicated (SELECT instead of branches), have
+affine address streams, and end with the canonical induction /
+compare / branch control pattern, i.e. they are modulo schedulable.
+The deliberately *non*-schedulable shapes (while-loops, call loops)
+live at the bottom and exist to exercise rejection paths and Figure 2's
+category accounting.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import LoopBuilder
+from repro.ir.loop import Loop
+from repro.ir.ops import Imm, Reg
+
+
+
+
+def _needs(loop: Loop, *transforms: str) -> Loop:
+    """Tag the static loop transforms this kernel's shape depends on.
+
+    A regularly-compiled binary (no aggressive inlining, predication or
+    unrolling adjustments) presents a form the runtime cannot retarget —
+    the Figure 7 experiment gates acceleration on this annotation.
+    """
+    loop.annotations["static_transforms"] = list(transforms)
+    return loop
+
+# ---------------------------------------------------------------------------
+# Integer / media kernels
+# ---------------------------------------------------------------------------
+
+def fir_filter(taps: int = 8, trip_count: int = 256,
+               invocations: int = 1, name: str = "fir") -> Loop:
+    """FIR filter inner loop (GSM short-term filter, EPIC wavelets).
+
+    ``taps`` load streams from the sample array at offsets 0..taps-1
+    plus one coefficient set kept in registers; accumulator chain of
+    mul/add pairs; one store stream.
+    """
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    x = b.array("x", length=trip_count + taps + 8)
+    y = b.array("y", length=trip_count + 8)
+    i = b.counter()
+    coeffs = [b.live_in(f"c{t}") for t in range(taps)]
+    base = b.add(x, i)
+    acc = None
+    for t in range(taps):
+        sample = b.load(base, t)
+        term = b.mul(sample, coeffs[t])
+        acc = term if acc is None else b.add(acc, term)
+    scaled = b.shr(acc, 6)
+    b.store(b.add(y, i), scaled)
+    return _needs(b.finish(), "inlining", "unrolling")
+
+
+def iir_biquad(trip_count: int = 256, invocations: int = 1,
+               name: str = "iir") -> Loop:
+    """Biquad IIR section (G.721 predictor): y[i] depends on y[i-1],
+    y[i-2] through registers — a genuine multi-op recurrence that
+    bounds II from below."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    x = b.array("x", length=trip_count + 8)
+    y = b.array("y", length=trip_count + 8)
+    b0 = b.live_in("b0")
+    a1 = b.live_in("a1")
+    a2 = b.live_in("a2")
+    y1 = b.live_in("y1")   # y[i-1], carried
+    y2 = b.live_in("y2")   # y[i-2], carried
+    i = b.counter()
+    xi = b.load(b.add(x, i))
+    t1 = b.mul(xi, b0)
+    t2 = b.mul(y1, a1)
+    t3 = b.mul(y2, a2)
+    t4 = b.add(t1, t2)
+    yi = b.add(t4, t3)
+    yi = b.shr(yi, 4)
+    b.store(b.add(y, i), yi)
+    b.mov(y1, dest=y2)     # shift the delay line
+    b.mov(yi, dest=y1)
+    return b.finish()
+
+
+def adpcm_decode(trip_count: int = 512, invocations: int = 1,
+                 name: str = "adpcm_dec") -> Loop:
+    """ADPCM decoder step (rawdaudio).
+
+    Reconstructs samples from 4-bit deltas: table-free step update via
+    shifts, predictor accumulate, and clamping to 16 bits via min/max —
+    a tight loop-carried recurrence through the predictor, with a
+    CCA-friendly and/sub/xor cluster.
+    """
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    deltas = b.array("deltas", length=trip_count + 8)
+    out = b.array("out", length=trip_count + 8)
+    valpred = b.live_in("valpred")   # carried predictor
+    step = b.live_in("step")         # carried step size
+    i = b.counter()
+    d = b.load(b.add(deltas, i))
+    sign = b.and_(d, 8)
+    mag = b.and_(d, 7)
+    # vpdiff = (step * mag) >> 2 + step >> 3 (shift-add approximation)
+    t0 = b.mul(step, mag)
+    vpdiff = b.shr(t0, 2)
+    vpdiff = b.add(vpdiff, b.shr(step, 3))
+    neg = b.sub(0, vpdiff)
+    signed_diff = b.select(sign, neg, vpdiff)
+    nxt = b.add(valpred, signed_diff)
+    clamped = b.min_(nxt, 32767)
+    clamped = b.max_(clamped, -32768)
+    b.mov(clamped, dest=valpred)
+    # step = clamp(step + (step >> 1) * adjust, ...) — shift/add update
+    adj = b.sub(mag, 3)
+    stepdelta = b.mul(b.shr(step, 3), adj)
+    newstep = b.add(step, stepdelta)
+    newstep = b.max_(newstep, 7)
+    newstep = b.min_(newstep, 24576)
+    b.mov(newstep, dest=step)
+    b.store(b.add(out, i), clamped)
+    loop = b.finish()
+    loop.live_outs = [valpred, step]
+    return _needs(loop, "if_conversion", "inlining")
+
+
+def adpcm_encode(trip_count: int = 512, invocations: int = 1,
+                 name: str = "adpcm_enc") -> Loop:
+    """ADPCM encoder step (rawcaudio): quantise the prediction error."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    samples = b.array("samples", length=trip_count + 8)
+    codes = b.array("codes", length=trip_count + 8)
+    valpred = b.live_in("valpred")
+    step = b.live_in("step")
+    i = b.counter()
+    s = b.load(b.add(samples, i))
+    diff = b.sub(s, valpred)
+    absdiff = b.abs_(diff)
+    sign = b.cmplt(diff, 0)
+    # 3-bit magnitude via compare ladder (predicated, CCA friendly).
+    m2 = b.cmpge(absdiff, b.shl(step, 2))
+    m1 = b.cmpge(absdiff, b.shl(step, 1))
+    m0 = b.cmpge(absdiff, step)
+    mag = b.add(b.add(b.shl(m2, 2), b.shl(m1, 1)), m0)
+    code = b.or_(b.shl(sign, 3), mag)
+    # Reconstruct like the decoder so the predictor tracks.  step>>2 is
+    # loop-carried input (previous iteration's step), so it sits off the
+    # predictor recurrence's critical path.
+    stepq = b.shr(step, 2)
+    t0 = b.mul(stepq, mag)
+    neg = b.sub(0, t0)
+    delta = b.select(sign, neg, t0)
+    nxt = b.add(valpred, delta)
+    # Truncate the predictor to 16 bits via a shift pair — this keeps
+    # the clamp bounds out of the register file (they would otherwise
+    # be wide literals; see Figure 3(b)'s constant accounting).
+    wide = b.shl(nxt, 48)
+    b.shr(wide, 48, dest=valpred)
+    # Step adaptation via shift/select (the table lookup of the real
+    # codec, linearised): grow fast on large magnitudes, decay slowly.
+    grow = b.cmpge(mag, 4)
+    up = b.shr(step, 1)
+    down = b.sub(0, b.shr(step, 3))
+    stepdelta = b.select(grow, up, down)
+    newstep = b.add(step, stepdelta)
+    newstep = b.max_(newstep, 7)
+    bounded = b.shl(newstep, 49)
+    b.shru(bounded, 49, dest=step)
+    b.store(b.add(codes, i), code)
+    loop = b.finish()
+    loop.live_outs = [valpred, step]
+    return _needs(loop, "if_conversion", "inlining")
+
+
+def dct_butterfly(trip_count: int = 64, invocations: int = 1,
+                  name: str = "dct") -> Loop:
+    """8-point DCT row pass (JPEG / MPEG-2): 8 load + 8 store streams,
+    butterflies of add/sub plus constant multiplies and shifts.  One of
+    the *large* loops that need many memory streams (Section 3.1)."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    src = b.array("src", length=8 * (trip_count + 1))
+    dst = b.array("dst", length=8 * (trip_count + 1))
+    i = b.counter(step=8)
+    base = b.add(src, i)
+    xs = [b.load(base, k) for k in range(8)]
+    s07, d07 = b.add(xs[0], xs[7]), b.sub(xs[0], xs[7])
+    s16, d16 = b.add(xs[1], xs[6]), b.sub(xs[1], xs[6])
+    s25, d25 = b.add(xs[2], xs[5]), b.sub(xs[2], xs[5])
+    s34, d34 = b.add(xs[3], xs[4]), b.sub(xs[3], xs[4])
+    e0, e3 = b.add(s07, s34), b.sub(s07, s34)
+    e1, e2 = b.add(s16, s25), b.sub(s16, s25)
+    y0 = b.shr(b.add(e0, e1), 1)
+    y4 = b.shr(b.sub(e0, e1), 1)
+    y2 = b.shr(b.add(b.mul(e3, 17), b.mul(e2, 7)), 5)
+    y6 = b.shr(b.sub(b.mul(e3, 7), b.mul(e2, 17)), 5)
+    y1 = b.shr(b.add(b.mul(d07, 23), b.mul(d16, 19)), 5)
+    y3 = b.shr(b.sub(b.mul(d07, 19), b.mul(d25, 13)), 5)
+    y5 = b.shr(b.add(b.mul(d16, 13), b.mul(d34, 5)), 5)
+    y7 = b.shr(b.sub(b.mul(d25, 5), b.mul(d34, 23)), 5)
+    out = b.add(dst, i)
+    for k, y in enumerate((y0, y1, y2, y3, y4, y5, y6, y7)):
+        b.store(out, y, k)
+    return b.finish(bound=Imm(8 * trip_count))
+
+
+def sad_16(trip_count: int = 256, invocations: int = 1,
+           name: str = "sad") -> Loop:
+    """Sum of absolute differences (MPEG-2 motion estimation): 2 load
+    streams, abs/sub/add accumulation into a scalar output."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    ref = b.array("ref", length=trip_count + 8)
+    cur = b.array("cur", length=trip_count + 8)
+    acc = b.live_in("acc")
+    i = b.counter()
+    r = b.load(b.add(ref, i))
+    c = b.load(b.add(cur, i))
+    d = b.abs_(b.sub(r, c))
+    b.add(acc, d, dest=acc)
+    loop = b.finish()
+    loop.live_outs = [acc]
+    return loop
+
+
+def quantize(trip_count: int = 256, invocations: int = 1,
+             name: str = "quant") -> Loop:
+    """MPEG-2 / JPEG quantisation: multiply by reciprocal, shift,
+    saturate with predicated selects."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    coef = b.array("coef", length=trip_count + 8)
+    qdst = b.array("qdst", length=trip_count + 8)
+    recip = b.live_in("recip")
+    i = b.counter()
+    v = b.load(b.add(coef, i))
+    neg = b.cmplt(v, 0)
+    mag = b.abs_(v)
+    q = b.shr(b.mul(mag, recip), 11)
+    q = b.min_(q, 255)
+    nq = b.sub(0, q)
+    out = b.select(neg, nq, q)
+    b.store(b.add(qdst, i), out)
+    return _needs(b.finish(), "if_conversion")
+
+
+def gf_mult(trip_count: int = 256, invocations: int = 1,
+            name: str = "gf_mult") -> Loop:
+    """GF(2^8)-style multiply-accumulate sweep (Pegwit elliptic-curve
+    arithmetic): xor/and/shift chains, almost no plain arithmetic —
+    heavy on exactly the ops the CCA's logic rows provide."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    xs = b.array("gx", length=trip_count + 8)
+    ys = b.array("gy", length=trip_count + 8)
+    zs = b.array("gz", length=trip_count + 8)
+    i = b.counter()
+    a = b.load(b.add(xs, i))
+    c = b.load(b.add(ys, i))
+    prod = b.and_(a, 0)
+    for bit in range(4):  # 4-step shift-and-add in GF(2)
+        mask = b.and_(b.shr(c, bit), 1)
+        maskneg = b.sub(0, mask)          # 0 or all-ones
+        term = b.and_(b.shl(a, bit), maskneg)
+        prod = b.xor(prod, term)
+    hi = b.and_(b.shr(prod, 8), 255)
+    red = b.xor(prod, b.mul(hi, 29))      # poly reduction (0x11d)
+    red = b.and_(red, 255)
+    b.store(b.add(zs, i), red)
+    return _needs(b.finish(), "inlining", "unrolling")
+
+
+def viterbi_acs(trip_count: int = 128, invocations: int = 1,
+                name: str = "viterbi") -> Loop:
+    """Viterbi add-compare-select butterfly (GSM decode): two path
+    metrics per step, compare, select survivor, pack decision bit."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    metrics = b.array("metrics", length=trip_count + 8)
+    branches = b.array("branches", length=trip_count + 8)
+    surv = b.array("surv", length=trip_count + 8)
+    i = b.counter()
+    m = b.load(b.add(metrics, i))
+    bm = b.load(b.add(branches, i))
+    path0 = b.add(m, bm)
+    path1 = b.sub(m, bm)
+    take1 = b.cmplt(path1, path0)
+    best = b.select(take1, path1, path0)
+    b.store(b.add(surv, i), b.or_(b.shl(best, 1), take1))
+    return _needs(b.finish(), "if_conversion")
+
+
+def color_convert(trip_count: int = 256, invocations: int = 1,
+                  name: str = "colorconv") -> Loop:
+    """RGB -> luma conversion (MPEG-2 / JPEG front end): 3 load streams,
+    constant multiplies, shifts, saturation."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    r = b.array("r", length=trip_count + 8)
+    g = b.array("g", length=trip_count + 8)
+    bl = b.array("bl", length=trip_count + 8)
+    y = b.array("yout", length=trip_count + 8)
+    i = b.counter()
+    rv = b.load(b.add(r, i))
+    gv = b.load(b.add(g, i))
+    bv = b.load(b.add(bl, i))
+    acc = b.mul(rv, 66)
+    acc = b.add(acc, b.mul(gv, 129))
+    acc = b.add(acc, b.mul(bv, 25))
+    acc = b.shr(b.add(acc, 128), 8)
+    acc = b.add(acc, 16)
+    acc = b.min_(acc, 235)
+    acc = b.max_(acc, 16)
+    b.store(b.add(y, i), acc)
+    return _needs(b.finish(), "if_conversion", "unrolling")
+
+
+def bitpack(trip_count: int = 256, invocations: int = 1,
+            name: str = "bitpack") -> Loop:
+    """Variable-length bit packing (Pegwit / entropy coding): carried
+    bit-buffer recurrence through or/shift."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    syms = b.array("syms", length=trip_count + 8)
+    packed = b.array("packed", length=trip_count + 8)
+    buf = b.live_in("buf")
+    i = b.counter()
+    s = b.load(b.add(syms, i))
+    low = b.and_(s, 15)
+    nbuf = b.or_(b.shl(buf, 4), low)
+    b.store(b.add(packed, i), nbuf)
+    b.mov(nbuf, dest=buf)
+    loop = b.finish()
+    loop.live_outs = [buf]
+    return loop
+
+
+def checksum(trip_count: int = 512, invocations: int = 1,
+             name: str = "checksum") -> Loop:
+    """Rotating checksum (Pegwit hashing): xor/add/rotate recurrence."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    data = b.array("data", length=trip_count + 8)
+    h = b.live_in("h")
+    i = b.counter()
+    v = b.load(b.add(data, i))
+    rot = b.or_(b.shl(h, 5), b.shru(h, 27))
+    mixed = b.xor(rot, v)
+    b.add(mixed, b.and_(h, 1023), dest=h)
+    loop = b.finish()
+    loop.live_outs = [h]
+    return loop
+
+
+def upsample(trip_count: int = 256, invocations: int = 1,
+             name: str = "upsample") -> Loop:
+    """EPIC-style 2x interpolation: 1 load stream, 2 store streams."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    src = b.array("usrc", length=trip_count + 8)
+    dst = b.array("udst", length=2 * trip_count + 8)
+    i = b.counter()
+    a = b.load(b.add(src, i))
+    nxt = b.load(b.add(src, i), 1)
+    mid = b.shr(b.add(a, nxt), 1)
+    o = b.add(dst, b.shl(i, 1))
+    b.store(o, a)
+    b.store(o, mid, 1)
+    return b.finish()
+
+
+def vector_max(trip_count: int = 512, invocations: int = 1,
+               name: str = "vmax") -> Loop:
+    """Max reduction with index tracking (EPIC peak search)."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    v = b.array("v", length=trip_count + 8)
+    best = b.live_in("best")
+    besti = b.live_in("besti")
+    i = b.counter()
+    x = b.load(b.add(v, i))
+    gt = b.cmpgt(x, best)
+    b.select(gt, x, best, dest=best)
+    b.select(gt, i, besti, dest=besti)
+    loop = b.finish()
+    loop.live_outs = [best, besti]
+    return _needs(loop, "if_conversion")
+
+
+# ---------------------------------------------------------------------------
+# Floating point kernels (SPECfp)
+# ---------------------------------------------------------------------------
+
+def daxpy(trip_count: int = 512, invocations: int = 1,
+          name: str = "daxpy") -> Loop:
+    """y += a * x (171.swim / 101.tomcatv inner loops)."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    x = b.array("dx", length=trip_count + 8, is_float=True)
+    y = b.array("dy", length=trip_count + 8, is_float=True)
+    a = b.live_in("a", space="fp")
+    i = b.counter()
+    xi = b.fload(b.add(x, i))
+    yi = b.fload(b.add(y, i))
+    b.fstore(b.add(y, i), b.fadd(b.fmul(a, xi), yi))
+    return b.finish()
+
+
+def dot_product(trip_count: int = 512, invocations: int = 1,
+                name: str = "ddot") -> Loop:
+    """FP dot product: the accumulator recurrence meets the 4-cycle
+    FADD latency, so RecMII = 4 — a classic II-bound loop."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    x = b.array("dpx", length=trip_count + 8, is_float=True)
+    y = b.array("dpy", length=trip_count + 8, is_float=True)
+    acc = b.live_in("facc", space="fp")
+    i = b.counter()
+    xi = b.fload(b.add(x, i))
+    yi = b.fload(b.add(y, i))
+    b.fadd(acc, b.fmul(xi, yi), dest=acc)
+    loop = b.finish()
+    loop.live_outs = [acc]
+    return loop
+
+
+def stencil5(trip_count: int = 256, invocations: int = 1,
+             name: str = "stencil5") -> Loop:
+    """5-point relaxation (172.mgrid resid/psinv style): five load
+    streams at neighbouring offsets, weighted FP combine, one store."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    u = b.array("u", length=trip_count + 16, is_float=True)
+    unew = b.array("unew", length=trip_count + 16, is_float=True)
+    c0 = b.live_in("c0", space="fp")
+    c1 = b.live_in("c1", space="fp")
+    i = b.counter()
+    base = b.add(u, i)
+    centre = b.fload(base, 2)
+    left = b.fload(base, 1)
+    right = b.fload(base, 3)
+    far_l = b.fload(base, 0)
+    far_r = b.fload(base, 4)
+    near = b.fadd(left, right)
+    far = b.fadd(far_l, far_r)
+    acc = b.fmul(centre, c0)
+    acc = b.fadd(acc, b.fmul(near, c1))
+    acc = b.fadd(acc, far)
+    b.fstore(b.add(unew, i), acc, 2)
+    return b.finish()
+
+
+def mgrid_resid(trip_count: int = 128, invocations: int = 1,
+                name: str = "mgrid_resid") -> Loop:
+    """172.mgrid RESID: a *large* inlined loop — 9 load streams,
+    several weighted partial sums.  The kind of loop whose translation
+    cost erased the accelerator's benefit when done fully dynamically."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    u = b.array("mu", length=trip_count + 32, is_float=True)
+    v = b.array("mv", length=trip_count + 32, is_float=True)
+    r = b.array("mr", length=trip_count + 32, is_float=True)
+    a0 = b.live_in("a0", space="fp")
+    a1 = b.live_in("a1", space="fp")
+    a2 = b.live_in("a2", space="fp")
+    i = b.counter()
+    base = b.add(u, i)
+    loads = [b.fload(base, k) for k in range(8)]
+    vi = b.fload(b.add(v, i), 4)
+    s1 = b.fadd(loads[3], loads[5])
+    s2 = b.fadd(loads[2], loads[6])
+    s3 = b.fadd(loads[1], loads[7])
+    s4 = b.fadd(loads[0], s3)
+    t0 = b.fmul(loads[4], a0)
+    t1 = b.fmul(s1, a1)
+    t2 = b.fmul(b.fadd(s2, s4), a2)
+    acc = b.fadd(t0, t1)
+    acc = b.fadd(acc, t2)
+    resid = b.fsub(vi, acc)
+    b.fstore(b.add(r, i), resid, 4)
+    return _needs(b.finish(), "inlining", "unrolling")
+
+
+def swim_update(trip_count: int = 256, invocations: int = 1,
+                name: str = "swim_update") -> Loop:
+    """171.swim UV-update: several streams, fmul/fadd mix."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    uo = b.array("uold", length=trip_count + 16, is_float=True)
+    vo = b.array("vold", length=trip_count + 16, is_float=True)
+    cu = b.array("cu", length=trip_count + 16, is_float=True)
+    cv = b.array("cv", length=trip_count + 16, is_float=True)
+    un = b.array("unew2", length=trip_count + 16, is_float=True)
+    vn = b.array("vnew2", length=trip_count + 16, is_float=True)
+    tdts = b.live_in("tdts", space="fp")
+    i = b.counter()
+    u0 = b.fload(b.add(uo, i))
+    v0 = b.fload(b.add(vo, i))
+    cui = b.fload(b.add(cu, i))
+    cvi = b.fload(b.add(cv, i))
+    du = b.fmul(tdts, b.fsub(cvi, cui))
+    dv = b.fmul(tdts, b.fadd(cvi, cui))
+    b.fstore(b.add(un, i), b.fadd(u0, du))
+    b.fstore(b.add(vn, i), b.fsub(v0, dv))
+    return _needs(b.finish(), "inlining")
+
+
+def mesa_transform(trip_count: int = 128, invocations: int = 1,
+                   name: str = "mesa_xform") -> Loop:
+    """177.mesa vertex transform: 4x4 matrix times vec4 — 4 load
+    streams, 16 fmul / 12 fadd, 4 store streams."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    vin = b.array("vin", length=4 * (trip_count + 2), is_float=True)
+    vout = b.array("vout", length=4 * (trip_count + 2), is_float=True)
+    m = [b.live_in(f"m{r}{c}", space="fp")
+         for r in range(4) for c in range(4)]
+    i = b.counter(step=4)
+    base = b.add(vin, i)
+    xs = [b.fload(base, k) for k in range(4)]
+    out = b.add(vout, i)
+    for row in range(4):
+        acc = b.fmul(xs[0], m[4 * row + 0])
+        for col in range(1, 4):
+            acc = b.fadd(acc, b.fmul(xs[col], m[4 * row + col]))
+        b.fstore(out, acc, row)
+    return _needs(b.finish(bound=Imm(4 * trip_count)), "inlining", "unrolling")
+
+
+def tomcatv_residual(trip_count: int = 256, invocations: int = 1,
+                     name: str = "tomcatv_res") -> Loop:
+    """101.tomcatv residual computation: mixed fmul/fsub chains."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    xa = b.array("txa", length=trip_count + 16, is_float=True)
+    ya = b.array("tya", length=trip_count + 16, is_float=True)
+    rxa = b.array("trx", length=trip_count + 16, is_float=True)
+    rel = b.live_in("rel", space="fp")
+    i = b.counter()
+    base = b.add(xa, i)
+    x0 = b.fload(base, 0)
+    x1 = b.fload(base, 1)
+    x2 = b.fload(base, 2)
+    yv = b.fload(b.add(ya, i), 1)
+    dxx = b.fadd(b.fsub(x0, b.fadd(x1, x1)), x2)
+    r = b.fmul(rel, b.fsub(dxx, yv))
+    b.fstore(b.add(rxa, i), r, 1)
+    return b.finish()
+
+
+# ---------------------------------------------------------------------------
+# Deliberately unschedulable shapes (Figure 2's other categories)
+# ---------------------------------------------------------------------------
+
+def while_scan(trip_count: int = 128, invocations: int = 1,
+               name: str = "while_scan") -> Loop:
+    """A while-loop: the exit condition depends on loaded data, so the
+    loop needs speculative memory support the LA does not provide.
+
+    Continues while ``data[i] != 0 && i < bound``; built by patching the
+    canonical control pattern so the branch condition's dependence slice
+    contains the load — which is exactly what the schedulability
+    analysis detects as a while-loop.
+    """
+    from repro.ir.opcodes import Opcode
+    from repro.ir.ops import Operation
+
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    s = b.array("ws", length=trip_count + 8)
+    i = b.counter()
+    v = b.load(b.add(s, i))
+    loop = b.finish()
+    next_id = max(op.opid for op in loop.body) + 1
+    bound_cmp = next(op for op in loop.body if op.opcode is Opcode.CMPLT)
+    branch = loop.body[-1]
+    nz = Operation(next_id, Opcode.CMPNE, [Reg("wnz")], [v, Imm(0)])
+    both = Operation(next_id + 1, Opcode.AND, [Reg("wcond")],
+                     [Reg("wnz"), bound_cmp.dests[0]])
+    branch.srcs[0] = Reg("wcond")
+    loop.body.insert(len(loop.body) - 1, nz)
+    loop.body.insert(len(loop.body) - 1, both)
+    loop._by_id = {op.opid: op for op in loop.body}
+    loop.annotations["while_loop"] = True
+    return loop
+
+
+def libm_loop(trip_count: int = 128, invocations: int = 1,
+              name: str = "libm_loop") -> Loop:
+    """A loop calling into the math library — non-inlinable, so it is a
+    "Subroutine" loop in Figure 2's terms."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    x = b.array("lx", length=trip_count + 8, is_float=True)
+    y = b.array("ly", length=trip_count + 8, is_float=True)
+    i = b.counter()
+    v = b.fload(b.add(x, i))
+    r = b.call("sin", v, result_space="fp")
+    b.fstore(b.add(y, i), r)
+    return b.finish()
+
+
+# ---------------------------------------------------------------------------
+# Additional kernels (beyond the paper's core suite)
+# ---------------------------------------------------------------------------
+
+def alpha_blend(trip_count: int = 256, invocations: int = 1,
+                name: str = "alpha_blend") -> Loop:
+    """Alpha compositing of two pixel streams (video overlay): per-pixel
+    multiply-blend with saturation — accepted by the accelerator."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    fg = b.array("fg", length=trip_count + 8)
+    bg = b.array("bg", length=trip_count + 8)
+    ab = b.array("ab", length=trip_count + 8)
+    outp = b.array("blend_out", length=trip_count + 8)
+    i = b.counter()
+    f = b.load(b.add(fg, i))
+    g = b.load(b.add(bg, i))
+    a = b.load(b.add(ab, i))
+    inv = b.sub(255, a)
+    mixed = b.add(b.mul(f, a), b.mul(g, inv))
+    pixel = b.shr(b.add(mixed, 127), 8)
+    pixel = b.min_(pixel, 255)
+    pixel = b.max_(pixel, 0)
+    b.store(b.add(outp, i), pixel)
+    return b.finish()
+
+
+def histogram(trip_count: int = 256, invocations: int = 1,
+              name: str = "histogram") -> Loop:
+    """Histogram update: the store address depends on loaded DATA, so
+    there is no affine stream — the translator must reject this loop
+    ("If the control and address patterns are more complicated than
+    supported by the accelerator, then translation terminates")."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    data = b.array("hdata", length=trip_count + 8)
+    hist = b.array("hist", length=64 + 8)
+    i = b.counter()
+    v = b.load(b.add(data, i))
+    bin_index = b.and_(v, 63)
+    slot = b.add(hist, bin_index)       # data-dependent address
+    count = b.load(slot)
+    b.store(slot, b.add(count, 1))
+    return b.finish()
+
+
+def transpose_gather(trip_count: int = 64, invocations: int = 1,
+                     name: str = "transpose") -> Loop:
+    """Column gather of an 8-wide matrix: unit-stride loads, stride-8
+    stores — exercises non-unit stream strides end to end."""
+    b = LoopBuilder(name, trip_count=trip_count, invocations=invocations)
+    src = b.array("tsrc", length=trip_count + 8)
+    dst = b.array("tdst", length=8 * trip_count + 16)
+    i = b.counter()
+    v = b.load(b.add(src, i))
+    b.store(b.add(dst, b.shl(i, 3)), v)
+    return b.finish()

@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the VEAL reproduction tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator import PROPOSED_LA
+from repro.cpu import Interpreter, Memory, standard_live_ins
+from repro.workloads.suite import DEFAULT_SCALARS
+
+
+@pytest.fixture
+def proposed_la():
+    return PROPOSED_LA
+
+
+def seeded_memory(loop, seed=7, int_range=(-100, 100), fp_range=(-8.0, 8.0)):
+    """Fresh memory with arrays allocated and filled deterministically."""
+    memory = Memory()
+    memory.allocate_arrays(loop.arrays)
+    rng = np.random.default_rng(seed)
+    for arr in loop.arrays:
+        if arr.is_float:
+            memory.write_array(arr.name,
+                               list(rng.uniform(*fp_range, arr.length)))
+        else:
+            memory.write_array(
+                arr.name,
+                [int(v) for v in rng.integers(*int_range, arr.length)])
+    return memory
+
+
+def run_reference(loop, seed=7, scalars=None):
+    """Run *loop* on the interpreter; returns (result, memory)."""
+    memory = seeded_memory(loop, seed)
+    interp = Interpreter(memory)
+    live = standard_live_ins(loop, memory,
+                             scalars if scalars is not None
+                             else DEFAULT_SCALARS)
+    result = interp.run_loop(loop, live)
+    return result, memory

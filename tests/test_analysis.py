@@ -1,0 +1,283 @@
+"""Stream detection, partitioning, schedulability, linear expressions."""
+
+import pytest
+
+from repro.analysis import (
+    LinExpr,
+    LoopCategory,
+    analyze_streams,
+    check_schedulability,
+    partition_loop,
+    try_mul,
+)
+from repro.analysis.linexpr import symbol_of
+from repro.ir import Imm, LoopBuilder, Opcode, Reg, build_dfg
+from repro.workloads import kernels as K
+
+
+# -- LinExpr ----------------------------------------------------------------
+
+def test_linexpr_add_sub():
+    a = LinExpr.of(Reg("x"))
+    b = LinExpr.constant(3)
+    s = a + b
+    assert s.const == 3 and s.coefficient(symbol_of(Reg("x"))) == 1
+    assert (s - a).const == 3 and not (s - a).terms
+
+
+def test_linexpr_scale_and_shift():
+    a = LinExpr.of(Reg("x")) + LinExpr.constant(2)
+    doubled = a.scaled(2)
+    assert doubled.const == 4
+    assert doubled.coefficient(symbol_of(Reg("x"))) == 2
+    assert a.shifted_left(3).coefficient(symbol_of(Reg("x"))) == 8
+
+
+def test_linexpr_cancellation_normalises():
+    a = LinExpr.of(Reg("x"))
+    zero = a - a
+    assert zero.is_constant and zero.const == 0
+
+
+def test_try_mul_requires_constant_side():
+    x = LinExpr.of(Reg("x"))
+    assert try_mul(x, LinExpr.constant(3)).coefficient(
+        symbol_of(Reg("x"))) == 3
+    assert try_mul(x, x) is None
+    assert try_mul(None, x) is None
+
+
+def test_linexpr_equality_is_structural():
+    a = LinExpr.of(Reg("x")) + LinExpr.constant(1)
+    b = LinExpr.constant(1) + LinExpr.of(Reg("x"))
+    assert a == b
+
+
+# -- stream analysis -----------------------------------------------------------
+
+def test_affine_index_stream():
+    b = LoopBuilder("t", trip_count=8)
+    x = b.array("x")
+    i = b.counter()
+    b.load(b.add(x, i))
+    loop = b.finish()
+    sa = analyze_streams(loop)
+    assert sa.ok and sa.num_load_streams == 1
+    assert sa.load_streams[0].stride == 1
+
+
+def test_strided_index_stream():
+    b = LoopBuilder("t", trip_count=8)
+    x = b.array("x")
+    i = b.counter()
+    b.load(b.add(x, b.shl(i, 2)))
+    loop = b.finish()
+    sa = analyze_streams(loop)
+    assert sa.load_streams[0].stride == 4
+
+
+def test_pointer_stream():
+    b = LoopBuilder("t", trip_count=8)
+    p = b.pointer("src", stride=3)
+    b.load(p)
+    loop = b.finish()
+    sa = analyze_streams(loop)
+    assert sa.ok and sa.load_streams[0].stride == 3
+
+
+def test_counter_step_scales_stride():
+    b = LoopBuilder("t", trip_count=8)
+    x = b.array("x")
+    i = b.counter(step=2)
+    b.load(b.add(x, i))
+    loop = b.finish(bound=Imm(16))
+    sa = analyze_streams(loop)
+    assert sa.load_streams[0].stride == 2
+
+
+def test_identical_patterns_deduplicate():
+    b = LoopBuilder("t", trip_count=8)
+    x = b.array("x")
+    i = b.counter()
+    b.load(b.add(x, i))
+    b.load(b.add(x, i))          # same pattern, same offset
+    b.load(b.add(x, i), 1)       # different offset -> new stream
+    loop = b.finish()
+    sa = analyze_streams(loop)
+    assert sa.num_load_streams == 2
+
+
+def test_loads_and_stores_counted_separately():
+    b = LoopBuilder("t", trip_count=8)
+    x = b.array("x")
+    y = b.array("y")
+    i = b.counter()
+    v = b.load(b.add(x, i))
+    b.store(b.add(y, i), v)
+    loop = b.finish()
+    sa = analyze_streams(loop)
+    assert sa.num_load_streams == 1 and sa.num_store_streams == 1
+
+
+def test_indirect_address_rejected():
+    b = LoopBuilder("t", trip_count=8)
+    x = b.array("x")
+    tbl = b.array("tbl")
+    i = b.counter()
+    idx = b.load(b.add(tbl, i))
+    b.load(b.add(x, idx))        # a[b[i]] — not a stream
+    loop = b.finish()
+    sa = analyze_streams(loop)
+    assert not sa.ok and len(sa.failures) == 1
+
+
+def test_masked_address_rejected():
+    # Wrap-around buffers use AND-masked indices — non-affine.
+    b = LoopBuilder("t", trip_count=8)
+    x = b.array("x")
+    i = b.counter()
+    b.load(b.add(x, b.and_(i, 7)))
+    loop = b.finish()
+    assert not analyze_streams(loop).ok
+
+
+def test_predicated_store_still_streams():
+    b = LoopBuilder("t", trip_count=8)
+    x = b.array("x")
+    i = b.counter()
+    addr = b.add(x, i)          # address computed unconditionally
+    p = b.cmpgt(i, 3)
+    b.set_predicate(p)
+    b.store(addr, i)            # only the store itself is guarded
+    b.set_predicate(None)
+    loop = b.finish()
+    sa = analyze_streams(loop)
+    assert sa.ok and sa.num_store_streams == 1
+
+
+def test_loop_invariant_address_stride_zero():
+    b = LoopBuilder("t", trip_count=8)
+    x = b.array("x")
+    b.load(x)  # same element every iteration
+    loop = b.finish()
+    sa = analyze_streams(loop)
+    assert sa.ok and sa.load_streams[0].stride == 0
+
+
+# -- partitioning -----------------------------------------------------------------
+
+def test_partition_fig5_style():
+    loop = K.sad_16(trip_count=8)
+    dfg = build_dfg(loop)
+    part = partition_loop(loop, dfg)
+    branch = loop.branch
+    assert branch.opid in part.control
+    for op in loop.body:
+        if op.is_memory:
+            assert op.opid in part.compute
+        if op.comment == "induction update":
+            assert op.opid in part.control
+
+
+def test_partition_address_adds_offloaded():
+    b = LoopBuilder("t", trip_count=8)
+    x = b.array("x")
+    i = b.counter()
+    addr = b.add(x, i)
+    b.load(addr)
+    loop = b.finish()
+    part = partition_loop(loop, build_dfg(loop))
+    addr_op = loop.body[0]
+    assert addr_op.opid in part.address
+
+
+def test_partition_value_feeding_compute_stays_compute():
+    b = LoopBuilder("t", trip_count=8)
+    x = b.array("x")
+    i = b.counter()
+    addr = b.add(x, i)
+    v = b.load(addr)
+    b.store(addr, b.add(addr, v))   # addr also used as DATA
+    loop = b.finish()
+    part = partition_loop(loop, build_dfg(loop))
+    addr_op = loop.body[0]
+    assert addr_op.opid in part.compute
+
+
+def test_partition_live_out_not_offloadable():
+    b = LoopBuilder("t", trip_count=8)
+    x = b.array("x")
+    i = b.counter()
+    addr = b.add(x, i)
+    b.load(addr)
+    loop = b.finish()
+    loop.live_outs = [addr]
+    part = partition_loop(loop, build_dfg(loop))
+    assert loop.body[0].opid in part.compute
+
+
+def test_partition_covers_all_ops_exactly_once():
+    for kernel in (K.fir_filter(taps=4, trip_count=8),
+                   K.adpcm_decode(trip_count=8),
+                   K.mgrid_resid(trip_count=8)):
+        part = partition_loop(kernel, build_dfg(kernel))
+        all_ids = {op.opid for op in kernel.body}
+        assert part.control | part.address | part.compute == all_ids
+        assert not part.control & part.address
+        assert not part.control & part.compute
+        assert not part.address & part.compute
+
+
+# -- schedulability ----------------------------------------------------------------
+
+def test_modulo_category_for_clean_loop():
+    rep = check_schedulability(K.daxpy(trip_count=8))
+    assert rep.category is LoopCategory.MODULO and rep.ok
+
+
+def test_subroutine_category():
+    rep = check_schedulability(K.libm_loop(trip_count=8))
+    assert rep.category is LoopCategory.SUBROUTINE
+
+
+def test_while_loop_category():
+    rep = check_schedulability(K.while_scan(trip_count=8))
+    assert rep.category is LoopCategory.SPECULATION
+
+
+def test_data_dependent_exit_detected_without_annotation():
+    loop = K.while_scan(trip_count=8)
+    loop.annotations.pop("while_loop")
+    rep = check_schedulability(loop)
+    assert rep.category is LoopCategory.SPECULATION
+
+
+def test_side_exit_detected():
+    loop = K.daxpy(trip_count=8)
+    from repro.ir.ops import Operation
+    extra = Operation(max(o.opid for o in loop.body) + 1, Opcode.BR, [],
+                      [Reg("i")])
+    body = [loop.body[0], extra] + loop.body[1:]
+    bad = loop.rebuild(body=body)
+    rep = check_schedulability(bad)
+    assert rep.category is LoopCategory.SPECULATION
+
+
+def test_malformed_loop_without_branch():
+    loop = K.daxpy(trip_count=8)
+    bad = loop.rebuild(body=loop.body[:-1])
+    rep = check_schedulability(bad)
+    assert rep.category is LoopCategory.MALFORMED
+
+
+def test_non_affine_access_fails_ok_but_stays_modulo_category():
+    b = LoopBuilder("t", trip_count=8)
+    x = b.array("x")
+    tbl = b.array("tbl")
+    i = b.counter()
+    idx = b.load(b.add(tbl, i))
+    b.load(b.add(x, idx))
+    loop = b.finish()
+    rep = check_schedulability(loop)
+    assert rep.category is LoopCategory.MODULO
+    assert not rep.ok and any("address" in r for r in rep.reasons)

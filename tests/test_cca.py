@@ -1,0 +1,209 @@
+"""CCA model, subgraph legality, and the greedy mapper."""
+
+import pytest
+
+from repro.cca import CCAConfig, DEFAULT_CCA, SubgraphChecker, assign_rows, map_cca
+from repro.cca.mapper import apply_subgraphs
+from repro.ir import Imm, LoopBuilder, Opcode, Reg, build_dfg
+from repro.ir.ops import Operation
+from repro.analysis import partition_loop
+from repro.workloads.example_fig5 import fig5_loop
+
+
+# -- model ---------------------------------------------------------------------
+
+def test_default_cca_shape():
+    # "as many as 15 standard RISC ops ... organized into 4 rows"
+    assert DEFAULT_CCA.capacity == 15
+    assert DEFAULT_CCA.depth == 4
+    assert DEFAULT_CCA.num_inputs == 4
+    assert DEFAULT_CCA.num_outputs == 2
+    assert DEFAULT_CCA.latency == 2
+
+
+def test_row_type_rules():
+    # Rows 1 and 3 (0-indexed 0, 2) do arithmetic; rows 2, 4 logic only.
+    assert DEFAULT_CCA.row_accepts(0, Opcode.ADD)
+    assert not DEFAULT_CCA.row_accepts(1, Opcode.ADD)
+    assert DEFAULT_CCA.row_accepts(2, Opcode.SUB)
+    assert DEFAULT_CCA.row_accepts(1, Opcode.XOR)
+    assert DEFAULT_CCA.row_accepts(3, Opcode.AND)
+    assert not DEFAULT_CCA.row_accepts(0, Opcode.SHL)
+
+
+def _op(opid, opcode, dest, *srcs):
+    return Operation(opid, opcode, [Reg(dest)],
+                     [Reg(s) if isinstance(s, str) else Imm(s)
+                      for s in srcs])
+
+
+def test_assign_rows_dependent_arith_chain():
+    # add -> sub must land on rows 0 and 2.
+    ops = [_op(0, Opcode.ADD, "a", "x", "y"),
+           _op(1, Opcode.SUB, "b", "a", "z")]
+    rows = assign_rows(ops, {1: [0]}, DEFAULT_CCA)
+    assert rows == {0: 0, 1: 2}
+
+
+def test_assign_rows_three_arith_chain_fails():
+    ops = [_op(0, Opcode.ADD, "a", "x", "y"),
+           _op(1, Opcode.SUB, "b", "a", "z"),
+           _op(2, Opcode.ADD, "c", "b", "w")]
+    rows = assign_rows(ops, {1: [0], 2: [1]}, DEFAULT_CCA)
+    assert rows is None  # only two arithmetic rows exist
+
+
+def test_assign_rows_logic_chain_of_four():
+    ops = [_op(0, Opcode.AND, "a", "x", "y"),
+           _op(1, Opcode.OR, "b", "a", "z"),
+           _op(2, Opcode.XOR, "c", "b", "w"),
+           _op(3, Opcode.AND, "d", "c", "v")]
+    rows = assign_rows(ops, {1: [0], 2: [1], 3: [2]}, DEFAULT_CCA)
+    assert rows == {0: 0, 1: 1, 2: 2, 3: 3}
+
+
+def test_assign_rows_respects_width():
+    cfg = CCAConfig(row_widths=(1, 1, 1, 1))
+    ops = [_op(0, Opcode.AND, "a", "x", "y"),
+           _op(1, Opcode.OR, "b", "x", "z")]
+    rows = assign_rows(ops, {}, cfg)
+    assert rows is not None and rows[0] != rows[1]
+
+
+def test_assign_rows_rejects_unsupported():
+    ops = [_op(0, Opcode.SHL, "a", "x", 1)]
+    assert assign_rows(ops, {}, DEFAULT_CCA) is None
+
+
+# -- Figure 5 mapping (the paper's worked example) --------------------------------
+
+@pytest.fixture
+def fig5_mapping():
+    loop = fig5_loop()
+    dfg = build_dfg(loop)
+    part = partition_loop(loop, dfg)
+    return loop, map_cca(loop, dfg, candidate_opids=part.compute)
+
+
+def test_fig5_collapses_ops_5_6_8(fig5_mapping):
+    _loop, mapping = fig5_mapping
+    assert mapping.num_subgraphs == 1
+    sg = next(iter(mapping.subgraphs.values()))
+    assert sorted(sg.opids) == [5, 6, 8]
+
+
+def test_fig5_does_not_combine_7_and_10(fig5_mapping):
+    # "Ops 7 and 10 could legally be combined; however, doing so would
+    # lengthen one of the recurrence cycles."
+    loop, mapping = fig5_mapping
+    mapped_ids = {opid for sg in mapping.subgraphs.values()
+                  for opid in sg.opids}
+    assert 7 not in mapped_ids and 10 not in mapped_ids
+
+
+def test_fig5_compound_interface(fig5_mapping):
+    _loop, mapping = fig5_mapping
+    sg = next(iter(mapping.subgraphs.values()))
+    assert len(sg.inputs) <= 4
+    assert len(sg.outputs) == 2  # t6 and t8
+
+
+def test_fig5_rewritten_body_has_compound(fig5_mapping):
+    _loop, mapping = fig5_mapping
+    compounds = [op for op in mapping.loop.body
+                 if op.opcode is Opcode.CCA_OP]
+    assert len(compounds) == 1
+    assert sorted(o.opid for o in compounds[0].inner) == [5, 6, 8]
+    assert mapping.collapsed_ops == 3
+
+
+def test_fig5_recurrence_rule_would_allow_pair_on_same_recurrence():
+    loop = fig5_loop()
+    dfg = build_dfg(loop)
+    part = partition_loop(loop, dfg)
+    checker = SubgraphChecker(loop, dfg, DEFAULT_CCA, part.compute)
+    # {5, 8} are both on the 3-5-8-9 recurrence: collapsing them is legal.
+    assert checker.check({5, 8}) is not None
+    # {7, 10} absorbs exactly one op of the 4-7 recurrence: the rule
+    # itself rejects it ("doing so would lengthen one of the recurrence
+    # cycles, which may increase II").
+    assert not checker.recurrence_ok({7, 10})
+    assert checker.check({7, 10}) is None
+
+
+# -- mapper generic behaviour ------------------------------------------------------
+
+def test_mapper_requires_two_ops():
+    b = LoopBuilder("t", trip_count=4)
+    x = b.array("x")
+    i = b.counter()
+    v = b.load(b.add(x, i))
+    b.store(b.add(x, i), b.and_(v, 0xFF))  # single logic op, no partner
+    loop = b.finish()
+    mapping = map_cca(loop)
+    assert mapping.num_subgraphs == 0
+    assert mapping.loop is loop
+
+
+def test_mapper_input_limit_respected():
+    # A 5-input combine cannot be swallowed whole.
+    b = LoopBuilder("t", trip_count=4)
+    ins = [b.live_in(f"v{k}") for k in range(6)]
+    acc = b.and_(ins[0], ins[1])
+    for v in ins[2:]:
+        acc = b.xor(acc, v)
+    out = b.array("out")
+    i = b.counter()
+    b.store(b.add(out, i), acc)
+    loop = b.finish()
+    mapping = map_cca(loop)
+    for sg in mapping.subgraphs.values():
+        assert len(sg.inputs) <= DEFAULT_CCA.num_inputs
+
+
+def test_mapper_functional_equivalence():
+    from tests.conftest import run_reference
+    loop = fig5_loop(trip_count=16)
+    dfg = build_dfg(loop)
+    part = partition_loop(loop, dfg)
+    mapping = map_cca(loop, dfg, candidate_opids=part.compute)
+    ref, ref_mem = run_reference(loop, seed=3, scalars={})
+    got, got_mem = run_reference(mapping.loop, seed=3, scalars={})
+    assert ref.live_outs == got.live_outs
+    assert ref_mem.snapshot() == got_mem.snapshot()
+
+
+def test_apply_subgraphs_static_path():
+    loop = fig5_loop()
+    mapping = apply_subgraphs(loop, [[5, 6, 8]])
+    assert mapping.num_subgraphs == 1
+    assert sorted(next(iter(mapping.subgraphs.values())).opids) == [5, 6, 8]
+
+
+def test_apply_subgraphs_rejects_illegal():
+    loop = fig5_loop()
+    # Shifts are not CCA-able: the annotated group is checked, not trusted.
+    mapping = apply_subgraphs(loop, [[3, 5]])
+    assert mapping.num_subgraphs == 0
+
+
+def test_apply_subgraphs_ignores_unknown_ids():
+    loop = fig5_loop()
+    mapping = apply_subgraphs(loop, [[998, 999]])
+    assert mapping.num_subgraphs == 0
+
+
+def test_apply_subgraphs_smaller_cca():
+    # A future CCA with no arithmetic rows can't take the and/sub/xor
+    # group (sub is arithmetic) — ops then execute independently.
+    tiny = CCAConfig(row_widths=(2, 2), arith_rows=frozenset(),
+                     num_inputs=4, num_outputs=2)
+    loop = fig5_loop()
+    mapping = apply_subgraphs(loop, [[5, 6, 8]], config=tiny)
+    assert mapping.num_subgraphs == 0
+
+
+def test_no_cca_leaves_loop_untouched():
+    loop = fig5_loop()
+    mapping = map_cca(loop, candidate_opids=set())
+    assert mapping.loop is loop

@@ -1,0 +1,182 @@
+"""CFGs, dominators, loop identification, and SCC algorithms."""
+
+import pytest
+
+from repro.ir import LoopBuilder
+from repro.ir.cfg import (
+    BasicBlock,
+    ControlFlowGraph,
+    Function,
+    Program,
+    identify_loops,
+    linear_program,
+)
+from repro.ir.graphalgo import (
+    condensation,
+    nontrivial_sccs,
+    strongly_connected_components,
+)
+from repro.ir.opcodes import Opcode
+from repro.ir.ops import Imm, Operation, Reg
+
+
+# -- graph algorithms -------------------------------------------------------------
+
+def _adj(graph):
+    return lambda n: graph.get(n, [])
+
+
+def test_scc_simple_cycle():
+    graph = {1: [2], 2: [3], 3: [1]}
+    sccs = strongly_connected_components([1, 2, 3], _adj(graph))
+    assert sorted(sorted(s) for s in sccs) == [[1, 2, 3]]
+
+
+def test_scc_dag_all_singletons():
+    graph = {1: [2, 3], 2: [4], 3: [4], 4: []}
+    sccs = strongly_connected_components([1, 2, 3, 4], _adj(graph))
+    assert all(len(s) == 1 for s in sccs)
+    assert len(sccs) == 4
+
+
+def test_scc_reverse_topological_order():
+    graph = {1: [2], 2: [3], 3: []}
+    sccs = strongly_connected_components([1, 2, 3], _adj(graph))
+    assert sccs == [[3], [2], [1]]
+
+
+def test_scc_two_components():
+    graph = {1: [2], 2: [1], 3: [4], 4: [3], 2_0: []}
+    nodes = [1, 2, 3, 4]
+    sccs = strongly_connected_components(nodes, _adj(graph))
+    assert sorted(sorted(s) for s in sccs) == [[1, 2], [3, 4]]
+
+
+def test_nontrivial_sccs_self_loop():
+    graph = {1: [1], 2: [3], 3: []}
+    result = nontrivial_sccs([1, 2, 3], _adj(graph))
+    assert result == [[1]]
+
+
+def test_scc_handles_deep_chain_iteratively():
+    n = 5000
+    graph = {i: [i + 1] for i in range(n)}
+    graph[n] = []
+    sccs = strongly_connected_components(list(range(n + 1)), _adj(graph))
+    assert len(sccs) == n + 1  # would blow the stack if recursive
+
+
+def test_condensation_dag():
+    graph = {1: [2], 2: [1, 3], 3: [4], 4: [3]}
+    sccs, comp_of, dag = condensation([1, 2, 3, 4], _adj(graph))
+    assert comp_of[1] == comp_of[2]
+    assert comp_of[3] == comp_of[4]
+    assert comp_of[3] in dag[comp_of[1]]
+
+
+def test_scc_work_callback():
+    units = []
+    strongly_connected_components([1, 2], _adj({1: [2], 2: [1]}),
+                                  units.append)
+    assert sum(units) > 0
+
+
+# -- CFG ------------------------------------------------------------------------------
+
+def _diamond_cfg():
+    return ControlFlowGraph("a", [
+        BasicBlock("a", successors=["b", "c"]),
+        BasicBlock("b", successors=["d"]),
+        BasicBlock("c", successors=["d"]),
+        BasicBlock("d"),
+    ])
+
+
+def test_cfg_validates_targets():
+    with pytest.raises(ValueError):
+        ControlFlowGraph("a", [BasicBlock("a", successors=["ghost"])])
+    with pytest.raises(ValueError):
+        ControlFlowGraph("ghost", [BasicBlock("a")])
+    with pytest.raises(ValueError):
+        ControlFlowGraph("a", [BasicBlock("a"), BasicBlock("a")])
+
+
+def test_dominators_diamond():
+    dom = _diamond_cfg().dominators()
+    assert dom["d"] == {"a", "d"}
+    assert dom["b"] == {"a", "b"}
+
+
+def test_back_edges_natural_loop():
+    cfg = ControlFlowGraph("entry", [
+        BasicBlock("entry", successors=["head"]),
+        BasicBlock("head", successors=["body", "exit"]),
+        BasicBlock("body", successors=["head"]),
+        BasicBlock("exit"),
+    ])
+    assert cfg.back_edges() == [("body", "head")]
+
+
+def test_loop_sccs_finds_self_loop():
+    cfg = ControlFlowGraph("e", [
+        BasicBlock("e", successors=["k"]),
+        BasicBlock("k", successors=["k", "x"]),
+        BasicBlock("x"),
+    ])
+    assert cfg.loop_sccs() == [["k"]]
+
+
+def test_identify_loops_rejects_call_blocks():
+    call = Operation(0, Opcode.CALL, [], [Imm(0)], comment="call f")
+    br = Operation(1, Opcode.BR, [], [Reg("c")])
+    cfg = ControlFlowGraph("e", [
+        BasicBlock("e", successors=["k"]),
+        BasicBlock("k", ops=[call, br], successors=["k", "x"]),
+        BasicBlock("x"),
+    ])
+    found = identify_loops(cfg)
+    assert found[0].reject_reason == "function call in loop body"
+
+
+def test_identify_loops_extracts_attached_body():
+    b = LoopBuilder("inner", trip_count=4)
+    loop = b.finish()
+    program = linear_program("app", [loop])
+    found = identify_loops(program.entry_function().cfg)
+    assert len(found) == 1
+    assert found[0].loop is loop
+
+
+def test_identify_loops_extracts_raw_ops():
+    b = LoopBuilder("raw", trip_count=4)
+    raw = b.finish()
+    cfg = ControlFlowGraph("e", [
+        BasicBlock("e", successors=["k"]),
+        BasicBlock("k", ops=[op.copy() for op in raw.body],
+                   successors=["k", "x"]),
+        BasicBlock("x"),
+    ])
+    found = identify_loops(cfg)
+    assert found[0].loop is not None
+    assert len(found[0].loop.body) == len(raw.body)
+
+
+def test_linear_program_structure():
+    loops = [LoopBuilder(f"k{i}", trip_count=4).finish() for i in range(3)]
+    program = linear_program("app", loops)
+    cfg = program.entry_function().cfg
+    assert len(cfg.loop_sccs()) == 3
+    # Every kernel self-loops and chains to the next region.
+    for i, loop in enumerate(loops):
+        label = f"kernel_k{i}"
+        assert label in cfg.blocks[label].successors
+
+
+def test_linear_program_empty():
+    program = linear_program("empty", [])
+    assert identify_loops(program.entry_function().cfg) == []
+
+
+def test_program_entry_function():
+    program = linear_program("app", [])
+    assert isinstance(program.entry_function(), Function)

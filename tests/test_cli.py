@@ -1,0 +1,54 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, cmd_kernels, cmd_translate, main
+
+
+def test_list_is_default(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig2", "fig10", "translate"):
+        assert name in out
+
+
+def test_every_registered_figure_has_description():
+    assert len(FIGURES) >= 12
+    for name, (description, fn) in FIGURES.items():
+        assert description and callable(fn)
+
+
+def test_kernels_listing():
+    text = cmd_kernels()
+    assert "rawcaudio" in text and "adpcm_enc" in text
+    assert "172.mgrid" in text
+
+
+def test_translate_accepted_kernel():
+    text = cmd_translate("fig5")
+    assert "II=4" in text
+    assert "cca0" in text          # the reservation table
+    assert "op16" in text          # the collapsed compound
+
+
+def test_translate_rejected_kernel():
+    text = cmd_translate("while_scan")
+    assert "REJECTED" in text
+
+
+def test_translate_unknown_kernel(capsys):
+    assert main(["translate", "nonsense"]) == 2
+    assert "unknown kernel" in capsys.readouterr().err
+
+
+def test_figure_command_runs_and_writes(tmp_path, capsys):
+    out_file = tmp_path / "fig2.txt"
+    assert main(["fig2", "--output", str(out_file)]) == 0
+    printed = capsys.readouterr().out
+    assert "modulo%" in printed
+    assert out_file.read_text().strip() in printed.strip()
+
+
+def test_translate_command_via_main(capsys):
+    assert main(["translate", "daxpy"]) == 0
+    assert "II=" in capsys.readouterr().out

@@ -1,0 +1,129 @@
+"""Exact affine memory disambiguation (the lattice test)."""
+
+import pytest
+
+from repro.analysis import analyze_streams, refine_memory_edges
+from repro.ir import Imm, LoopBuilder, build_dfg
+
+
+def _mem_edges(dfg):
+    return [e for e in dfg.edges if e.kind == "mem"]
+
+
+def _refined(loop):
+    dfg = build_dfg(loop)
+    streams = analyze_streams(loop)
+    assert streams.ok
+    return dfg, refine_memory_edges(loop, dfg, streams)
+
+
+def test_disjoint_interleaved_stores_have_no_edges():
+    # out[2i] and out[2i+1]: different residues mod 2 — never collide.
+    b = LoopBuilder("t", trip_count=8)
+    dst = b.array("dst", length=32)
+    i = b.counter()
+    o = b.add(dst, b.shl(i, 1))
+    b.store(o, i)
+    b.store(o, i, 1)
+    loop = b.finish()
+    before, after = _refined(loop)
+    assert _mem_edges(before)          # conservative edges existed
+    assert not _mem_edges(after)       # proven disjoint
+
+
+def test_true_loop_carried_dependence_gets_exact_distance():
+    # store a[i]; load a[i-2]: collision at distance exactly 2.
+    b = LoopBuilder("t", trip_count=8)
+    a = b.array("a", length=32)
+    i = b.counter()
+    addr = b.add(a, i)
+    b.store(addr, i, 2)            # writes a[i+2]
+    v = b.load(addr)               # reads a[i]
+    b.add(v, 1)
+    loop = b.finish()
+    _before, after = _refined(loop)
+    edges = _mem_edges(after)
+    assert len(edges) == 1
+    edge = edges[0]
+    store = next(op for op in loop.body if op.is_store)
+    load = next(op for op in loop.body if op.is_load)
+    assert (edge.src, edge.dst) == (store.opid, load.opid)
+    assert edge.distance == 2
+
+
+def test_same_iteration_collision_keeps_program_order():
+    b = LoopBuilder("t", trip_count=8)
+    a = b.array("a", length=32)
+    i = b.counter()
+    addr = b.add(a, i)
+    b.store(addr, i)
+    v = b.load(addr)               # same address, same iteration
+    b.add(v, 1)
+    loop = b.finish()
+    _before, after = _refined(loop)
+    edges = _mem_edges(after)
+    assert len(edges) == 1
+    store = next(op for op in loop.body if op.is_store)
+    load = next(op for op in loop.body if op.is_load)
+    assert (edges[0].src, edges[0].dst) == (store.opid, load.opid)
+    assert edges[0].distance == 0
+
+
+def test_two_loads_never_ordered():
+    b = LoopBuilder("t", trip_count=8)
+    a = b.array("a", length=32)
+    i = b.counter()
+    b.load(b.add(a, i))
+    b.load(b.add(a, i), 1)
+    loop = b.finish()
+    _before, after = _refined(loop)
+    assert not _mem_edges(after)
+
+
+def test_fixed_address_store_load_conflict_kept():
+    # Both access a[0] every iteration: stride 0, same address.
+    b = LoopBuilder("t", trip_count=8)
+    a = b.array("a", length=8)
+    i = b.counter()
+    v = b.load(a)
+    b.store(a, b.add(v, 1))
+    loop = b.finish()
+    _before, after = _refined(loop)
+    assert _mem_edges(after)
+
+
+def test_refinement_improves_upsample_ii():
+    from repro.accelerator import PROPOSED_LA
+    from repro.vm import translate_loop
+    from repro.workloads import kernels as K
+    result = translate_loop(K.upsample(trip_count=16), PROPOSED_LA)
+    assert result.ok
+    assert result.image.ii == 1   # was 2 with conservative edges
+
+
+def test_refined_loops_still_bit_exact():
+    # The ultimate safety net: interleaved-store kernels still match
+    # the interpreter on the overlapped executor.
+    from repro.accelerator import PROPOSED_LA, execute_overlapped
+    from repro.cpu import Interpreter, standard_live_ins
+    from repro.vm import translate_loop
+    from repro.workloads import kernels as K
+    from repro.workloads.suite import DEFAULT_SCALARS
+    from tests.conftest import seeded_memory
+
+    for kernel in (K.upsample(trip_count=20), K.dct_butterfly(trip_count=8)):
+        from repro.transform.fission import fission_loop
+        loops = ([kernel] if kernel.name != "dct"
+                 else list(fission_loop(kernel)))
+        for loop in loops:
+            result = translate_loop(loop, PROPOSED_LA)
+            assert result.ok, (loop.name, result.failure)
+            mem_ref = seeded_memory(loop, seed=41)
+            Interpreter(mem_ref).run_loop(
+                loop, standard_live_ins(loop, mem_ref, DEFAULT_SCALARS))
+            mem_ovl = seeded_memory(loop, seed=41)
+            execute_overlapped(
+                result.image, mem_ovl,
+                standard_live_ins(result.image.loop, mem_ovl,
+                                  DEFAULT_SCALARS))
+            assert mem_ref.snapshot() == mem_ovl.snapshot(), loop.name

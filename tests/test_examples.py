@@ -1,0 +1,31 @@
+"""Every shipped example must run end to end."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def _load(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    module = _load(path)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} printed nothing"
+
+
+def test_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "adpcm_codec", "design_space",
+            "one_binary_many_machines", "image_blur_nest"} <= names

@@ -1,0 +1,105 @@
+"""Cross-cutting integration scenarios."""
+
+import pytest
+
+from repro.accelerator import PROPOSED_LA, execute_overlapped
+from repro.cca.model import CCAConfig
+from repro.cpu import ARM11, Interpreter, standard_live_ins
+from repro.experiments.amortization import run_trip_crossover
+from repro.isa import annotate_for_veal, decode_loop, encode_loop
+from repro.vm import TranslationOptions, VMConfig, VirtualMachine, translate_loop
+from repro.workloads import kernels as K
+from repro.workloads.suite import DEFAULT_SCALARS, benchmark_by_name
+from tests.conftest import seeded_memory
+
+
+def test_ship_binary_to_wider_cca_machine():
+    """Annotations made for the 4-in/2-out CCA still help on a machine
+    whose CCA is *bigger* (the forward-compatibility the paper wants)."""
+    loop = annotate_for_veal(K.gf_mult(trip_count=16))
+    data = encode_loop(loop)
+    shipped = decode_loop(data)
+    big_cca = CCAConfig(row_widths=(8, 6, 4, 3), num_inputs=6,
+                        num_outputs=3)
+    machine = PROPOSED_LA.with_(cca=big_cca)
+    result = translate_loop(shipped, machine, TranslationOptions.hybrid())
+    assert result.ok
+    assert any(op.inner for op in result.image.loop.body)
+
+
+def test_ship_binary_to_narrower_cca_machine():
+    """...and on a machine whose CCA is smaller, the groups that no
+    longer fit fall back to independent execution, not failure."""
+    loop = annotate_for_veal(K.adpcm_decode(trip_count=16))
+    shipped = decode_loop(encode_loop(loop))
+    tiny_cca = CCAConfig(row_widths=(2, 1), arith_rows=frozenset({0}),
+                         num_inputs=2, num_outputs=1)
+    machine = PROPOSED_LA.with_(cca=tiny_cca)
+    result = translate_loop(shipped, machine, TranslationOptions.hybrid())
+    assert result.ok  # the loop still runs, with or without groups
+
+
+def test_full_vm_hybrid_bit_exact_per_loop():
+    """The hybrid-mode VM, functional path: every accelerated loop of a
+    real benchmark matches the interpreter."""
+    bench = benchmark_by_name("g721dec")
+    from repro.experiments.common import annotate_benchmark
+    annotated = annotate_benchmark(bench)
+    vm = VirtualMachine(VMConfig(cpu=ARM11, accelerator=PROPOSED_LA,
+                                 options=TranslationOptions.hybrid(),
+                                 functional=True))
+    run = vm.run_benchmark(annotated)
+    assert all(o.accelerated for o in run.outcomes), \
+        [(o.name, o.reason) for o in run.outcomes]
+
+
+def test_overlapped_executor_on_hybrid_translation():
+    loop = annotate_for_veal(K.viterbi_acs(trip_count=24))
+    result = translate_loop(loop, PROPOSED_LA, TranslationOptions.hybrid())
+    assert result.ok
+    mem_ref = seeded_memory(loop, seed=55)
+    Interpreter(mem_ref).run_loop(
+        loop, standard_live_ins(loop, mem_ref, DEFAULT_SCALARS))
+    mem_ovl = seeded_memory(loop, seed=55)
+    execute_overlapped(result.image, mem_ovl,
+                       standard_live_ins(result.image.loop, mem_ovl,
+                                         DEFAULT_SCALARS))
+    assert mem_ref.snapshot() == mem_ovl.snapshot()
+
+
+def test_crossover_rows_monotone_in_trips():
+    rows = run_trip_crossover(bus_points=[10])
+    speedups = rows[0].speedups
+    assert speedups == sorted(speedups)
+
+
+def test_speculative_machine_is_superset():
+    """Everything the plain design accepts, the speculative one does."""
+    spec_la = PROPOSED_LA.with_(supports_speculation=True)
+    for kernel in (K.sad_16(trip_count=8), K.daxpy(trip_count=8),
+                   K.quantize(trip_count=8)):
+        plain = translate_loop(kernel, PROPOSED_LA)
+        spec = translate_loop(kernel, spec_la)
+        assert plain.ok == spec.ok
+        if plain.ok:
+            assert plain.image.ii == spec.image.ii
+
+
+def test_all_modes_agree_functionally():
+    """Dynamic, height, and hybrid translation of one loop all produce
+    schedules that execute identically."""
+    loop = annotate_for_veal(K.adpcm_encode(trip_count=24))
+    snapshots = []
+    for options in (TranslationOptions.fully_dynamic(),
+                    TranslationOptions.fully_dynamic_height(),
+                    TranslationOptions.hybrid()):
+        result = translate_loop(loop, PROPOSED_LA, options)
+        if not result.ok:
+            continue
+        mem = seeded_memory(loop, seed=66)
+        execute_overlapped(result.image, mem,
+                           standard_live_ins(result.image.loop, mem,
+                                             DEFAULT_SCALARS))
+        snapshots.append(mem.snapshot())
+    assert len(snapshots) >= 2
+    assert all(s == snapshots[0] for s in snapshots)

@@ -1,0 +1,199 @@
+"""Operations, loops, builder: structural behaviour."""
+
+import pytest
+
+from repro.ir import Imm, Loop, LoopBuilder, Opcode, Reg, validate_loop
+from repro.ir.ops import Operation, defined_regs, renumber, used_regs
+
+
+# -- Operation ---------------------------------------------------------------
+
+def test_src_regs_includes_predicate():
+    op = Operation(0, Opcode.ADD, [Reg("d")], [Reg("a"), Imm(1)],
+                   predicate=Reg("p"))
+    assert Reg("a") in op.src_regs()
+    assert Reg("p") in op.src_regs()
+    assert Imm(1) not in op.src_regs()
+
+
+def test_operation_classifiers():
+    load = Operation(0, Opcode.LOAD, [Reg("d")], [Reg("a"), Imm(0)])
+    store = Operation(1, Opcode.STORE, [], [Reg("a"), Imm(0), Reg("v")])
+    call = Operation(2, Opcode.CALL, [], [Imm(0)])
+    assert load.is_load and load.is_memory and not load.is_store
+    assert store.is_store and store.is_memory and not store.is_load
+    assert call.is_call and call.is_control
+
+
+def test_operation_copy_is_deep_for_lists():
+    op = Operation(0, Opcode.ADD, [Reg("d")], [Reg("a"), Reg("b")])
+    clone = op.copy(opid=5)
+    clone.srcs.append(Imm(1))
+    assert len(op.srcs) == 2
+    assert clone.opid == 5 and op.opid == 0
+
+
+def test_renumber_assigns_consecutive_ids():
+    ops = [Operation(10, Opcode.ADD, [Reg("a")], [Imm(1), Imm(2)]),
+           Operation(99, Opcode.SUB, [Reg("b")], [Reg("a"), Imm(1)])]
+    out = renumber(ops, start=3)
+    assert [o.opid for o in out] == [3, 4]
+    assert [o.opid for o in ops] == [10, 99]  # originals untouched
+
+
+def test_defined_and_used_regs():
+    ops = [Operation(0, Opcode.ADD, [Reg("a")], [Reg("x"), Imm(1)]),
+           Operation(1, Opcode.SUB, [Reg("b")], [Reg("a"), Reg("y")])]
+    assert defined_regs(ops) == {Reg("a"), Reg("b")}
+    assert used_regs(ops) == {Reg("x"), Reg("a"), Reg("y")}
+
+
+def test_reg_spaces_distinct():
+    assert Reg("a", "int") != Reg("a", "fp")
+
+
+# -- LoopBuilder --------------------------------------------------------------
+
+def test_builder_produces_canonical_control_tail():
+    b = LoopBuilder("t", trip_count=10)
+    x = b.array("x")
+    i = b.counter()
+    b.store(b.add(x, i), i)
+    loop = b.finish()
+    opcodes = [op.opcode for op in loop.body[-3:]]
+    assert opcodes == [Opcode.ADD, Opcode.CMPLT, Opcode.BR]
+
+
+def test_builder_counter_only_once():
+    b = LoopBuilder("t")
+    b.counter()
+    with pytest.raises(ValueError):
+        b.counter()
+
+
+def test_builder_finish_only_once():
+    b = LoopBuilder("t")
+    b.counter()
+    b.finish()
+    with pytest.raises(RuntimeError):
+        b.finish()
+    with pytest.raises(RuntimeError):
+        b.add(1, 2)
+
+
+def test_builder_auto_counter_on_finish():
+    b = LoopBuilder("t", trip_count=5)
+    loop = b.finish()
+    assert loop.branch is not None
+    assert any(op.comment == "induction update" for op in loop.body)
+
+
+def test_builder_fp_dest_space_inferred():
+    b = LoopBuilder("t")
+    r = b.fadd(1.0, 2.0)
+    assert r.space == "fp"
+    r2 = b.add(1, 2)
+    assert r2.space == "int"
+
+
+def test_builder_pointer_creates_update_and_livein():
+    b = LoopBuilder("t", trip_count=4)
+    p = b.pointer("src", stride=3)
+    b.load(p)
+    loop = b.finish()
+    updates = [op for op in loop.body
+               if op.comment == "stream pointer update"]
+    assert len(updates) == 1
+    assert updates[0].srcs == [p, Imm(3)]
+    assert p in loop.live_ins
+
+
+def test_builder_predication_scope():
+    b = LoopBuilder("t", trip_count=4)
+    x = b.array("x")
+    i = b.counter()
+    p = b.cmpgt(i, 1)
+    b.set_predicate(p)
+    b.store(b.add(x, i), i)
+    b.set_predicate(None)
+    loop = b.finish()
+    stores = [op for op in loop.body if op.is_store]
+    assert stores[0].predicate == p
+    # Control tail must not be predicated.
+    assert loop.body[-1].predicate is None
+    assert loop.body[-2].predicate is None
+
+
+def test_builder_rejects_bad_operand():
+    b = LoopBuilder("t")
+    with pytest.raises(TypeError):
+        b.add("not-an-operand", 1)  # type: ignore[arg-type]
+
+
+# -- Loop / validate_loop ------------------------------------------------------
+
+def _tiny_loop():
+    b = LoopBuilder("tiny", trip_count=4)
+    x = b.array("x")
+    i = b.counter()
+    v = b.load(b.add(x, i))
+    b.store(b.add(x, i), b.add(v, 1))
+    return b.finish()
+
+
+def test_validate_clean_loop():
+    assert validate_loop(_tiny_loop()) == []
+
+
+def test_validate_detects_missing_branch():
+    loop = _tiny_loop()
+    body = [op.copy() for op in loop.body[:-1]]
+    bad = Loop("bad", body, live_ins=list(loop.live_ins))
+    assert any("branch" in p for p in validate_loop(bad))
+
+
+def test_validate_detects_undeclared_live_in():
+    loop = _tiny_loop()
+    bad = loop.rebuild(live_ins=[])
+    assert any("live-in" in p for p in validate_loop(bad))
+
+
+def test_validate_detects_duplicate_opid():
+    loop = _tiny_loop()
+    with pytest.raises(ValueError):
+        Loop("dup", [loop.body[0].copy(), loop.body[0].copy()])
+
+
+def test_compute_live_ins_in_place_update():
+    loop = _tiny_loop()
+    live = loop.compute_live_ins()
+    assert Reg("i") in live          # read before its update
+    assert Reg("x") in live          # array base, never defined
+
+
+def test_loop_lookup_helpers():
+    loop = _tiny_loop()
+    first = loop.body[0]
+    assert loop.op(first.opid) is first
+    assert loop.index_of(first.opid) == 0
+    with pytest.raises(KeyError):
+        loop.index_of(9999)
+
+
+def test_loop_rebuild_is_independent_copy():
+    loop = _tiny_loop()
+    clone = loop.rebuild(name="clone")
+    clone.body[0].srcs[0] = Imm(42)
+    assert loop.body[0].srcs[0] != Imm(42)
+    assert clone.name == "clone"
+
+
+def test_loop_dump_contains_ops_and_liveness():
+    text = _tiny_loop().dump()
+    assert "load" in text and "live-in" in text
+
+
+def test_validate_live_out_never_defined():
+    loop = _tiny_loop()
+    bad = loop.rebuild(live_outs=[Reg("ghost")])
+    assert any("ghost" in p for p in validate_loop(bad))

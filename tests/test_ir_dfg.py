@@ -1,0 +1,183 @@
+"""Dataflow graph construction: distances, multi-def, memory edges."""
+
+import pytest
+
+from repro.ir import Imm, Loop, LoopBuilder, Opcode, Reg, build_dfg
+from repro.ir.loop import ArrayDecl
+from repro.ir.ops import Operation
+
+
+def _edges_between(dfg, src, dst):
+    return [e for e in dfg.edges if e.src == src and e.dst == dst]
+
+
+def test_intra_iteration_flow_distance_zero():
+    b = LoopBuilder("t", trip_count=4)
+    v = b.add(1, 2)
+    w = b.sub(v, 3)
+    loop = b.finish()
+    dfg = build_dfg(loop)
+    edges = _edges_between(dfg, loop.body[0].opid, loop.body[1].opid)
+    assert len(edges) == 1
+    assert edges[0].distance == 0
+    assert edges[0].latency == 1
+
+
+def test_in_place_update_self_edge_distance_one():
+    b = LoopBuilder("t", trip_count=4)
+    acc = b.live_in("acc")
+    b.add(acc, 1, dest=acc)
+    loop = b.finish()
+    dfg = build_dfg(loop)
+    update = loop.body[0]
+    self_edges = _edges_between(dfg, update.opid, update.opid)
+    assert len(self_edges) == 1
+    assert self_edges[0].distance == 1
+
+
+def test_use_before_def_distance_one():
+    # Read of a register textually before its definition reads the
+    # previous iteration's value.
+    b = LoopBuilder("t", trip_count=4)
+    carried = b.live_in("c")
+    use = b.add(carried, 1)      # reads c from the previous iteration
+    b.mov(use, dest=carried)     # defines c for the next iteration
+    loop = b.finish()
+    dfg = build_dfg(loop)
+    mov = loop.body[1]
+    add = loop.body[0]
+    edges = _edges_between(dfg, mov.opid, add.opid)
+    assert len(edges) == 1 and edges[0].distance == 1
+
+
+def test_multiply_latency_on_edge():
+    b = LoopBuilder("t", trip_count=4)
+    v = b.mul(3, 4)
+    b.add(v, 1)
+    loop = b.finish()
+    dfg = build_dfg(loop)
+    e = _edges_between(dfg, loop.body[0].opid, loop.body[1].opid)[0]
+    assert e.latency == 3
+
+
+def test_live_in_reads_produce_no_edges():
+    b = LoopBuilder("t", trip_count=4)
+    x = b.live_in("x")
+    b.add(x, 1)
+    loop = b.finish()
+    dfg = build_dfg(loop)
+    add = loop.body[0]
+    assert dfg.in_edges(add.opid) == []
+
+
+def test_memory_edges_same_array_store_load():
+    b = LoopBuilder("t", trip_count=4)
+    arr = b.array("a")
+    i = b.counter()
+    addr = b.add(arr, i)
+    b.store(addr, i)
+    v = b.load(addr)
+    loop = b.finish()
+    dfg = build_dfg(loop)
+    store = next(op for op in loop.body if op.is_store)
+    load = next(op for op in loop.body if op.is_load)
+    forward = [e for e in _edges_between(dfg, store.opid, load.opid)
+               if e.kind == "mem"]
+    backward = [e for e in _edges_between(dfg, load.opid, store.opid)
+                if e.kind == "mem"]
+    assert forward and forward[0].distance == 0
+    assert backward and backward[0].distance == 1
+
+
+def test_no_memory_edges_between_distinct_arrays():
+    b = LoopBuilder("t", trip_count=4)
+    src = b.array("src")
+    dst = b.array("dst")
+    i = b.counter()
+    v = b.load(b.add(src, i))
+    b.store(b.add(dst, i), v)
+    loop = b.finish()
+    dfg = build_dfg(loop)
+    assert not [e for e in dfg.edges if e.kind == "mem"]
+
+
+def test_alias_group_creates_memory_edges():
+    body = [
+        Operation(0, Opcode.LOAD, [Reg("v")], [Reg("a"), Imm(0)]),
+        Operation(1, Opcode.STORE, [], [Reg("b"), Imm(0), Reg("v")]),
+        Operation(2, Opcode.ADD, [Reg("i")], [Reg("i"), Imm(1)]),
+        Operation(3, Opcode.CMPLT, [Reg("c")], [Reg("i"), Imm(4)]),
+        Operation(4, Opcode.BR, [], [Reg("c")]),
+    ]
+    loop = Loop("t", body, live_ins=[Reg("a"), Reg("b"), Reg("i")],
+                arrays=[ArrayDecl("a", may_alias="g"),
+                        ArrayDecl("b", may_alias="g")])
+    dfg = build_dfg(loop)
+    assert [e for e in dfg.edges if e.kind == "mem"]
+
+
+def test_two_loads_no_memory_edge():
+    b = LoopBuilder("t", trip_count=4)
+    arr = b.array("a")
+    i = b.counter()
+    b.load(b.add(arr, i))
+    b.load(b.add(arr, i), 1)
+    loop = b.finish()
+    dfg = build_dfg(loop)
+    assert not [e for e in dfg.edges if e.kind == "mem"]
+
+
+def test_recurrence_components_finds_induction():
+    b = LoopBuilder("t", trip_count=4)
+    loop = b.finish()
+    dfg = build_dfg(loop)
+    sccs = dfg.recurrence_components()
+    update = next(op for op in loop.body if op.comment == "induction update")
+    assert [update.opid] in sccs
+
+
+def test_recurrence_components_restrict():
+    b = LoopBuilder("t", trip_count=4)
+    acc = b.live_in("acc")
+    b.add(acc, 1, dest=acc)
+    loop = b.finish()
+    dfg = build_dfg(loop)
+    acc_op = loop.body[0]
+    restricted = dfg.recurrence_components(restrict={acc_op.opid})
+    assert restricted == [[acc_op.opid]]
+
+
+def test_work_callback_charged():
+    b = LoopBuilder("t", trip_count=4)
+    b.add(1, 2)
+    loop = b.finish()
+    units = []
+    build_dfg(loop, work=units.append)
+    assert sum(units) > 0
+
+
+def test_subgraph_edges():
+    b = LoopBuilder("t", trip_count=4)
+    v = b.add(1, 2)
+    w = b.sub(v, 1)
+    b.xor(w, v)
+    loop = b.finish()
+    dfg = build_dfg(loop)
+    ids = {loop.body[0].opid, loop.body[1].opid}
+    subs = dfg.subgraph_edges(ids)
+    assert all(e.src in ids and e.dst in ids for e in subs)
+    assert len(subs) == 1
+
+
+def test_predicate_reg_creates_edge():
+    b = LoopBuilder("t", trip_count=4)
+    x = b.array("x")
+    i = b.counter()
+    p = b.cmpgt(i, 2)
+    b.set_predicate(p)
+    b.store(b.add(x, i), i)
+    loop = b.finish()
+    dfg = build_dfg(loop)
+    cmp_op = loop.body[0]
+    store = next(op for op in loop.body if op.is_store)
+    assert _edges_between(dfg, cmp_op.opid, store.opid)

@@ -1,0 +1,107 @@
+"""Opcode table invariants."""
+
+import pytest
+
+from repro.ir.opcodes import (
+    CCA_ARITH_OPCODES,
+    CCA_LOGIC_OPCODES,
+    CCA_SUPPORTED_OPCODES,
+    COMPARE_OPCODES,
+    DEFAULT_LATENCY,
+    LOAD_OPCODES,
+    MEMORY_OPCODES,
+    STORE_OPCODES,
+    LatencyModel,
+    OpKind,
+    Opcode,
+    ResourceClass,
+    info,
+)
+
+
+def test_every_opcode_has_info():
+    for opcode in Opcode:
+        assert info(opcode).opcode is opcode
+
+
+def test_latencies_positive():
+    for opcode in Opcode:
+        assert info(opcode).latency >= 1
+
+
+def test_multiply_takes_three_cycles():
+    # Figure 5's stated assumption.
+    assert info(Opcode.MUL).latency == 3
+
+
+def test_cca_compound_takes_two_cycles():
+    assert info(Opcode.CCA_OP).latency == 2
+
+
+def test_simple_ops_take_one_cycle():
+    for opcode in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR,
+                   Opcode.XOR, Opcode.SHL, Opcode.SHR, Opcode.CMPLT,
+                   Opcode.SELECT, Opcode.MOV):
+        assert info(opcode).latency == 1
+
+
+def test_fp_units_fully_pipelined_latency():
+    assert info(Opcode.FADD).latency == 4
+    assert info(Opcode.FMUL).latency == 4
+
+
+def test_cca_does_not_support_shifts_or_multiplies():
+    # Section 3.1: "multiplication and shifts ... are not handled by
+    # the CCA".
+    for opcode in (Opcode.SHL, Opcode.SHR, Opcode.SHRU, Opcode.MUL,
+                   Opcode.DIV):
+        assert opcode not in CCA_SUPPORTED_OPCODES
+
+
+def test_cca_supports_arith_logic_compare():
+    for opcode in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR,
+                   Opcode.XOR, Opcode.CMPLT, Opcode.MIN, Opcode.MAX):
+        assert opcode in CCA_SUPPORTED_OPCODES
+
+
+def test_cca_arith_and_logic_rows_disjoint_semantics():
+    # Logic opcodes may run on any row; arith opcodes only on arith rows.
+    assert Opcode.AND in CCA_LOGIC_OPCODES
+    assert Opcode.ADD in CCA_ARITH_OPCODES
+    assert Opcode.ADD not in CCA_LOGIC_OPCODES
+
+
+def test_memory_opcode_sets():
+    assert LOAD_OPCODES | STORE_OPCODES == MEMORY_OPCODES
+    assert not (LOAD_OPCODES & STORE_OPCODES)
+
+
+def test_compare_opcodes_kind():
+    for opcode in COMPARE_OPCODES:
+        assert info(opcode).kind is OpKind.COMPARE
+
+
+def test_resource_classes():
+    assert info(Opcode.ADD).resource is ResourceClass.INT
+    assert info(Opcode.FADD).resource is ResourceClass.FP
+    assert info(Opcode.LOAD).resource is ResourceClass.MEM
+    assert info(Opcode.BR).resource is ResourceClass.BRANCH
+    assert info(Opcode.CCA_OP).resource is ResourceClass.CCA
+
+
+def test_latency_model_override():
+    model = LatencyModel(overrides={Opcode.MUL: 5})
+    assert model.latency(Opcode.MUL) == 5
+    assert model.latency(Opcode.ADD) == 1
+
+
+def test_default_latency_matches_info():
+    for opcode in Opcode:
+        assert DEFAULT_LATENCY.latency(opcode) == info(opcode).latency
+
+
+def test_commutativity_flags():
+    assert info(Opcode.ADD).is_commutative
+    assert info(Opcode.MUL).is_commutative
+    assert not info(Opcode.SUB).is_commutative
+    assert not info(Opcode.SHL).is_commutative

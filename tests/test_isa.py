@@ -1,0 +1,124 @@
+"""Binary encoding and the Figure 9 static annotations."""
+
+import pytest
+
+from repro.isa import (
+    STATIC_CCA_KEY,
+    STATIC_PRIORITY_KEY,
+    annotate_for_veal,
+    annotate_static_cca,
+    annotate_static_priority,
+    decode_loop,
+    encode_loop,
+)
+from repro.isa.encoding import EncodingError
+from repro.workloads import kernels as K
+from repro.workloads.example_fig5 import fig5_loop
+
+
+ROUND_TRIP_KERNELS = [
+    K.fir_filter(taps=4, trip_count=16), K.adpcm_decode(trip_count=16),
+    K.daxpy(trip_count=16), K.gf_mult(trip_count=16),
+    K.quantize(trip_count=16), fig5_loop(trip_count=16),
+]
+
+
+@pytest.mark.parametrize("loop", ROUND_TRIP_KERNELS, ids=lambda l: l.name)
+def test_round_trip_body(loop):
+    back = decode_loop(encode_loop(loop))
+    assert back.name == loop.name
+    assert back.trip_count == loop.trip_count
+    assert back.invocations == loop.invocations
+    assert [str(a) for a in back.body] == [str(b) for b in loop.body]
+    assert back.live_ins == loop.live_ins
+    assert back.live_outs == loop.live_outs
+    assert [(a.name, a.length, a.is_float, a.may_alias)
+            for a in back.arrays] == \
+        [(a.name, a.length, a.is_float, a.may_alias) for a in loop.arrays]
+
+
+def test_round_trip_annotations():
+    loop = annotate_for_veal(fig5_loop(trip_count=16))
+    back = decode_loop(encode_loop(loop))
+    assert back.annotations[STATIC_PRIORITY_KEY] == \
+        loop.annotations[STATIC_PRIORITY_KEY]
+    assert back.annotations[STATIC_CCA_KEY] == \
+        loop.annotations[STATIC_CCA_KEY]
+
+
+def test_decoded_loop_translates_identically():
+    from repro.accelerator import PROPOSED_LA
+    from repro.vm import TranslationOptions, translate_loop
+    loop = annotate_for_veal(K.adpcm_decode(trip_count=16))
+    back = decode_loop(encode_loop(loop))
+    a = translate_loop(loop, PROPOSED_LA, TranslationOptions.hybrid())
+    b = translate_loop(back, PROPOSED_LA, TranslationOptions.hybrid())
+    assert a.ok and b.ok
+    assert a.image.ii == b.image.ii
+    assert a.image.schedule.times == b.image.schedule.times
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(EncodingError):
+        decode_loop(b"NOPE" + bytes(64))
+
+
+def test_truncated_image_rejected():
+    data = encode_loop(K.daxpy(trip_count=8))
+    with pytest.raises(EncodingError):
+        decode_loop(data[: len(data) // 2])
+
+
+def test_wrong_version_rejected():
+    data = bytearray(encode_loop(K.daxpy(trip_count=8)))
+    data[4] = 99
+    with pytest.raises(EncodingError):
+        decode_loop(bytes(data))
+
+
+def test_cca_compound_cannot_be_encoded():
+    from repro.analysis import partition_loop
+    from repro.cca import map_cca
+    from repro.ir import build_dfg
+    loop = fig5_loop()
+    dfg = build_dfg(loop)
+    part = partition_loop(loop, dfg)
+    mapped = map_cca(loop, dfg, candidate_opids=part.compute).loop
+    with pytest.raises(EncodingError):
+        encode_loop(mapped)
+
+
+# -- annotations ------------------------------------------------------------------
+
+def test_static_cca_annotation_matches_dynamic_mapping():
+    loop = annotate_static_cca(fig5_loop())
+    assert loop.annotations[STATIC_CCA_KEY] == [[5, 6, 8]]
+    # The body itself is untouched (binary compatibility).
+    assert [op.opid for op in loop.body] == \
+        [op.opid for op in fig5_loop().body]
+
+
+def test_static_priority_covers_every_op():
+    loop = annotate_static_priority(fig5_loop())
+    ranks = loop.annotations[STATIC_PRIORITY_KEY]
+    assert set(ranks) == {op.opid for op in fig5_loop().body}
+    # Control/address ops are marked -1 (handled by dedicated hardware).
+    assert ranks[15] == -1 and ranks[1] == -1
+    # CCA members share their compound's rank.
+    assert ranks[5] == ranks[6] == ranks[8] >= 0
+
+
+def test_annotate_for_veal_has_both_sections():
+    loop = annotate_for_veal(K.gf_mult(trip_count=16))
+    assert STATIC_PRIORITY_KEY in loop.annotations
+    assert STATIC_CCA_KEY in loop.annotations
+
+
+def test_priority_annotation_architecture_independent_of_cca():
+    # A VM with no CCA still finds a rank for every op it schedules.
+    from repro.accelerator import PROPOSED_LA
+    from repro.vm import TranslationOptions, translate_loop
+    loop = annotate_for_veal(K.adpcm_decode(trip_count=16))
+    no_cca = PROPOSED_LA.with_(num_ccas=0, num_int_units=4)
+    result = translate_loop(loop, no_cca, TranslationOptions.hybrid())
+    assert result.ok

@@ -1,0 +1,84 @@
+"""Figure 9(b) procedural abstraction: outline / expand round trip."""
+
+import pytest
+
+from repro.accelerator import PROPOSED_LA
+from repro.cca.model import CCAConfig
+from repro.ir import Opcode
+from repro.isa import STATIC_CCA_KEY
+from repro.isa.outline import BRL_PREFIX, expand_brl, outline_cca
+from repro.vm import TranslationOptions, translate_loop
+from repro.workloads import kernels as K
+from repro.workloads.example_fig5 import fig5_loop
+from tests.conftest import run_reference
+
+
+def test_outline_fig5_matches_paper():
+    outlined = outline_cca(fig5_loop())
+    brls = [op for op in outlined.loop.body if op.opcode is Opcode.BRL]
+    assert len(brls) == 1
+    assert len(outlined.functions) == 1
+    callee = outlined.functions[f"{BRL_PREFIX}0"]
+    # Figure 9(b): the CCA function contains ops 5 (And), 6 (Sub), 8 (Xor).
+    assert sorted(op.opid for op in callee) == [5, 6, 8]
+    assert {op.opcode for op in callee} == \
+        {Opcode.AND, Opcode.SUB, Opcode.XOR}
+
+
+def test_outline_body_shrinks_by_group_size_minus_one():
+    loop = fig5_loop()
+    outlined = outline_cca(loop)
+    assert len(outlined.loop.body) == len(loop.body) - 3 + 1
+
+
+def test_expand_recovers_subgraph_hints():
+    outlined = outline_cca(fig5_loop())
+    flat, subgraphs = expand_brl(outlined)
+    assert subgraphs == [[5, 6, 8]]
+    assert not any(op.opcode is Opcode.BRL for op in flat.body)
+    assert len(flat.body) == len(fig5_loop().body)
+
+
+def test_expand_is_semantically_identity():
+    loop = fig5_loop(trip_count=24)
+    flat, _sg = expand_brl(outline_cca(loop))
+    ref, ref_mem = run_reference(loop, seed=6, scalars={})
+    got, got_mem = run_reference(flat, seed=6, scalars={})
+    assert ref.live_outs == got.live_outs
+    assert ref_mem.snapshot() == got_mem.snapshot()
+
+
+def test_expanded_hints_drive_static_cca_translation():
+    loop = fig5_loop()
+    flat, subgraphs = expand_brl(outline_cca(loop))
+    flat.annotations[STATIC_CCA_KEY] = subgraphs
+    result = translate_loop(flat, PROPOSED_LA,
+                            TranslationOptions(use_static_cca=True))
+    assert result.ok
+    compounds = [op for op in result.image.loop.body if op.inner]
+    assert len(compounds) == 1
+    assert sorted(o.opid for o in compounds[0].inner) == [5, 6, 8]
+
+
+def test_expanded_loop_fine_without_any_cca():
+    # "does not tie the binary to one particular CCA (or even any CCA
+    # at all)".
+    loop = K.gf_mult(trip_count=16)
+    flat, _sg = expand_brl(outline_cca(loop))
+    no_cca = PROPOSED_LA.with_(num_ccas=0, num_int_units=4)
+    result = translate_loop(flat, no_cca)
+    assert result.ok
+
+
+def test_outline_no_subgraphs_is_copy():
+    loop = K.daxpy(trip_count=8)  # FP only: nothing for the CCA
+    outlined = outline_cca(loop)
+    assert outlined.functions == {}
+    assert len(outlined.loop.body) == len(loop.body)
+
+
+def test_expand_missing_callee_raises():
+    outlined = outline_cca(fig5_loop())
+    outlined.functions.clear()
+    with pytest.raises(KeyError):
+        expand_brl(outlined)

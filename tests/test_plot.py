@@ -1,0 +1,65 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.plot import MARKERS, Series, ascii_chart
+
+
+def test_chart_contains_markers_and_legend():
+    text = ascii_chart([Series("alpha", [1, 2, 4], [0.2, 0.5, 1.0]),
+                        Series("beta", [1, 2, 4], [0.1, 0.3, 0.6])])
+    assert "o alpha" in text and "x beta" in text
+    assert "o" in text and "x" in text
+
+
+def test_chart_y_axis_labels():
+    text = ascii_chart([Series("s", [0, 1], [0.0, 2.0])])
+    assert "2.00" in text and "0.00" in text
+
+
+def test_chart_dimensions():
+    text = ascii_chart([Series("s", [0, 1], [0, 1])], width=30, height=8)
+    rows = [line for line in text.splitlines() if line.endswith("|")]
+    assert len(rows) == 8
+    assert all(len(line) == len(rows[0]) for line in rows)
+
+
+def test_chart_extreme_x_ticks_visible():
+    text = ascii_chart([Series("s", [2, 12, 64], [0.1, 0.5, 1.0])])
+    assert "2" in text and "64" in text
+
+
+def test_chart_monotone_series_renders_monotone():
+    series = Series("s", [0, 1, 2, 3], [0.0, 1.0, 2.0, 3.0])
+    text = ascii_chart([series], width=40, height=10)
+    rows = [line for line in text.splitlines() if line.endswith("|")]
+    # Marker rows for increasing y must appear bottom-to-top.
+    positions = []
+    for r, line in enumerate(rows):
+        if "o" in line:
+            positions.append((r, line.index("o")))
+    rows_sorted_by_col = sorted(positions, key=lambda rc: rc[1])
+    rr = [r for r, _c in rows_sorted_by_col]
+    assert rr == sorted(rr, reverse=True)
+
+
+def test_chart_flat_series_no_crash():
+    text = ascii_chart([Series("flat", [1, 2, 3], [1.0, 1.0, 1.0])])
+    assert "flat" in text
+
+
+def test_chart_empty_input():
+    assert ascii_chart([]) == "(no data)"
+
+
+def test_chart_title_and_axis_labels():
+    text = ascii_chart([Series("s", [1], [1.0])], title="T",
+                       x_label="xs", y_label="ys")
+    assert text.splitlines()[0] == "T"
+    assert "x: xs" in text and "y: ys" in text
+
+
+def test_many_series_cycle_markers():
+    series = [Series(f"s{i}", [0, 1], [i, i + 1]) for i in range(10)]
+    text = ascii_chart(series)
+    assert MARKERS[0] in text and MARKERS[1] in text

@@ -1,0 +1,120 @@
+"""Property-based tests for the static transforms over generated loops."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cpu import Interpreter, Memory, standard_live_ins
+from repro.ir import validate_loop
+from repro.transform.fission import FissionError, fission_loop
+from repro.transform.unroll import UnrollError, unroll_loop
+from repro.workloads.generator import GeneratorSpec, generate_loop
+from tests.conftest import seeded_memory
+
+SLOW = settings(max_examples=20, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+gen_specs = st.builds(
+    GeneratorSpec,
+    n_ops=st.integers(6, 20),
+    n_load_streams=st.integers(1, 4),
+    n_store_streams=st.integers(1, 2),
+    n_recurrences=st.integers(0, 2),
+    recurrence_length=st.just(2),
+    use_predication=st.booleans(),
+    trip_count=st.just(12),
+    seed=st.integers(0, 5_000),
+)
+
+
+def _run_sequence(loops, seed, observe_arrays):
+    """Run loops back to back on shared memory.
+
+    Returns the live-out values plus the contents of *observe_arrays*
+    (compared by name — the two runs allocate at different addresses,
+    so absolute snapshots are not comparable).
+    """
+    memory = Memory()
+    seeded = set()
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    for lp in loops:
+        for arr in lp.arrays:
+            if arr.name in seeded:
+                continue
+            memory.allocate(arr.name, arr.length)
+            seeded.add(arr.name)
+            if not arr.name.startswith("fx_"):
+                vals = ([float(v) for v in rng.uniform(-4, 4, arr.length)]
+                        if arr.is_float else
+                        [int(v) for v in rng.integers(-100, 100, arr.length)])
+                memory.write_array(arr.name, vals)
+    interp = Interpreter(memory)
+    outs = {}
+    for lp in loops:
+        res = interp.run_loop(lp, standard_live_ins(lp, memory))
+        outs.update(res.live_outs)
+    contents = {name: memory.read_array(name) for name in observe_arrays}
+    return outs, contents
+
+
+@SLOW
+@given(gen_specs)
+def test_fission_preserves_semantics_on_generated_loops(spec):
+    loop = generate_loop(spec)
+    try:
+        p1, p2 = fission_loop(loop)
+    except FissionError:
+        return  # not all generated loops are fissionable
+    assert validate_loop(p1) == [] and validate_loop(p2) == []
+    names = [a.name for a in loop.arrays]
+    ref_outs, ref_mem = _run_sequence([loop], spec.seed, names)
+    got_outs, got_mem = _run_sequence([p1, p2], spec.seed, names)
+    assert ref_outs == got_outs
+    assert ref_mem == got_mem
+
+
+@SLOW
+@given(gen_specs, st.sampled_from([2, 3, 4]))
+def test_unroll_preserves_semantics_on_generated_loops(spec, factor):
+    loop = generate_loop(spec)
+    try:
+        rolled = unroll_loop(loop, factor)
+    except UnrollError:
+        assert loop.trip_count % factor != 0
+        return
+    assert validate_loop(rolled) == []
+    names = [a.name for a in loop.arrays]
+    ref_outs, ref_mem = _run_sequence([loop], spec.seed, names)
+    got_outs, got_mem = _run_sequence([rolled], spec.seed, names)
+    assert ref_outs == got_outs
+    assert ref_mem == got_mem
+
+
+@SLOW
+@given(gen_specs)
+def test_cca_mapping_preserves_semantics_on_generated_loops(spec):
+    from repro.analysis import partition_loop
+    from repro.cca import map_cca
+    from repro.ir import build_dfg
+    loop = generate_loop(spec)
+    dfg = build_dfg(loop)
+    part = partition_loop(loop, dfg)
+    mapping = map_cca(loop, dfg, candidate_opids=part.compute)
+    names = [a.name for a in loop.arrays]
+    ref_outs, ref_mem = _run_sequence([loop], spec.seed, names)
+    got_outs, got_mem = _run_sequence([mapping.loop], spec.seed, names)
+    assert ref_outs == got_outs
+    assert ref_mem == got_mem
+
+
+@SLOW
+@given(gen_specs)
+def test_encoding_roundtrip_on_generated_loops(spec):
+    from repro.isa import decode_loop, encode_loop
+    loop = generate_loop(spec)
+    back = decode_loop(encode_loop(loop))
+    names = [a.name for a in loop.arrays]
+    ref_outs, ref_mem = _run_sequence([loop], spec.seed, names)
+    got_outs, got_mem = _run_sequence([back], spec.seed, names)
+    assert ref_outs == got_outs
+    assert ref_mem == got_mem

@@ -1,0 +1,128 @@
+"""Modulo variable expansion: physical copies and overlap freedom."""
+
+import pytest
+
+from repro.accelerator import PROPOSED_LA
+from repro.analysis import partition_loop
+from repro.cca import map_cca
+from repro.ir import LoopBuilder, Reg, build_dfg
+from repro.scheduler import modulo_schedule
+from repro.scheduler.rotation import (
+    LiveRange,
+    PhysicalAssignment,
+    assign_physical,
+    live_ranges,
+    validate_rotation,
+)
+from repro.workloads import kernels as K
+from repro.workloads.example_fig5 import fig5_loop
+
+
+def _schedule(loop, cca=True, units=None):
+    dfg = build_dfg(loop)
+    part = partition_loop(loop, dfg)
+    if cca:
+        mapping = map_cca(loop, dfg, candidate_opids=part.compute)
+        loop = mapping.loop
+        dfg = build_dfg(loop)
+        part = partition_loop(loop, dfg)
+    sched = modulo_schedule(dfg, part.compute,
+                            units or PROPOSED_LA.units(), max_ii=64)
+    return loop, dfg, part, sched
+
+
+KERNELS = [K.fir_filter(taps=4, trip_count=8), K.adpcm_decode(trip_count=8),
+           K.iir_biquad(trip_count=8), K.gf_mult(trip_count=8),
+           K.daxpy(trip_count=8), K.viterbi_acs(trip_count=8),
+           fig5_loop(trip_count=8)]
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+def test_rotation_never_overlaps(kernel):
+    loop, dfg, part, sched = _schedule(kernel)
+    assignment = assign_physical(loop, dfg, sched, part)
+    assert validate_rotation(assignment, sched.ii) == []
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+def test_copy_counts_match_lifetime_rule(kernel):
+    loop, dfg, part, sched = _schedule(kernel)
+    assignment = assign_physical(loop, dfg, sched, part)
+    for vreg, rng in assignment.ranges.items():
+        expected = -(-rng.length // sched.ii)
+        assert assignment.copies[vreg] == expected
+        assert expected >= 1
+
+
+def test_long_lived_value_needs_multiple_copies():
+    # A value consumed 2*II+ cycles after production must be expanded.
+    b = LoopBuilder("t", trip_count=8)
+    x = b.array("x")
+    out = b.array("o")
+    i = b.counter()
+    v = b.mul(b.load(b.add(x, i)), 3)
+    w = b.mul(v, 5)          # 3-cycle multiply chain delays u...
+    u = b.mul(w, 7)
+    late = b.add(u, v)       # ...so v stays live from t(v)+3 to t(late)
+    b.store(b.add(out, i), late)
+    loop = b.finish()
+    loop2, dfg, part, sched = _schedule(loop, cca=False)
+    assignment = assign_physical(loop2, dfg, sched, part)
+    v_ranges = [r for r in assignment.ranges.values() if r.length > sched.ii]
+    assert v_ranges, "expected at least one cross-stage live range"
+    for rng in v_ranges:
+        assert assignment.copies[rng.vreg] >= 2
+    assert validate_rotation(assignment, sched.ii) == []
+
+
+def test_register_for_rotates():
+    assignment = PhysicalAssignment(
+        ranges={Reg("v"): LiveRange(Reg("v"), 0, 5)},
+        copies={Reg("v"): 2},
+        physical={(Reg("v"), 0): 3, (Reg("v"), 1): 4},
+        int_used=2, fp_used=0)
+    assert assignment.register_for(Reg("v"), 0) == 3
+    assert assignment.register_for(Reg("v"), 1) == 4
+    assert assignment.register_for(Reg("v"), 2) == 3
+
+
+def test_validator_catches_under_provisioning():
+    # One copy for a range longer than II must collide with itself.
+    vreg = Reg("v")
+    assignment = PhysicalAssignment(
+        ranges={vreg: LiveRange(vreg, 0, 7)},  # needs 2 copies at II=4
+        copies={vreg: 1},
+        physical={(vreg, 0): 0},
+        int_used=1, fp_used=0)
+    problems = validate_rotation(assignment, ii=4)
+    assert problems and "overlaps" in problems[0]
+
+
+def test_load_results_have_no_ranges():
+    loop, dfg, part, sched = _schedule(K.sad_16(trip_count=8))
+    ranges = live_ranges(loop, dfg, sched, part)
+    loads = {d for op in loop.body if op.is_load for d in op.dests}
+    assert not loads & set(ranges)
+
+
+def test_fp_and_int_files_assigned_separately():
+    loop, dfg, part, sched = _schedule(K.daxpy(trip_count=8))
+    assignment = assign_physical(loop, dfg, sched, part)
+    int_physical = {p for (v, _c), p in assignment.physical.items()
+                    if v.space == "int"}
+    fp_physical = {p for (v, _c), p in assignment.physical.items()
+                   if v.space == "fp"}
+    assert len(int_physical) == assignment.int_used
+    assert len(fp_physical) == assignment.fp_used
+
+
+def test_translator_attaches_rotation():
+    from repro.vm import translate_loop
+    result = translate_loop(K.adpcm_decode(trip_count=8), PROPOSED_LA)
+    assert result.ok
+    rotation = result.image.rotation
+    assert rotation is not None
+    assert validate_rotation(rotation, result.image.ii) == []
+    # Rotation demand never exceeds the regalloc admission counts.
+    assert rotation.int_used <= result.image.registers.int_regs + \
+        len(result.image.registers.constants)

@@ -1,0 +1,78 @@
+"""Direct tests for the CFG interpreter."""
+
+import pytest
+
+from repro.cpu import Interpreter, Memory, TrapError
+from repro.cpu.interpreter import run_cfg
+from repro.ir.cfg import BasicBlock, ControlFlowGraph
+from repro.ir.opcodes import Opcode
+from repro.ir.ops import Imm, Operation, Reg
+
+
+def _op(opid, opcode, dest, *srcs):
+    return Operation(opid, opcode,
+                     [Reg(dest)] if dest else [],
+                     [Reg(s) if isinstance(s, str) else Imm(s)
+                      for s in srcs])
+
+
+def test_run_cfg_straight_line():
+    cfg = ControlFlowGraph("a", [
+        BasicBlock("a", ops=[_op(0, Opcode.ADD, "x", 1, 2)],
+                   successors=["b"]),
+        BasicBlock("b", ops=[_op(1, Opcode.MUL, "y", "x", 10)]),
+    ])
+    regs = run_cfg(Interpreter(Memory()), cfg, {})
+    assert regs[Reg("y")] == 30
+
+
+def test_run_cfg_conditional_branch_taken_and_not():
+    def build(cond_value):
+        cfg = ControlFlowGraph("a", [
+            BasicBlock("a", ops=[
+                _op(0, Opcode.LDI, "c", cond_value),
+                Operation(1, Opcode.BR, [], [Reg("c")])],
+                successors=["yes", "no"]),
+            BasicBlock("yes", ops=[_op(2, Opcode.LDI, "r", 1)]),
+            BasicBlock("no", ops=[_op(3, Opcode.LDI, "r", 0)]),
+        ])
+        return run_cfg(Interpreter(Memory()), cfg, {})[Reg("r")]
+    assert build(1) == 1
+    assert build(0) == 0
+
+
+def test_run_cfg_jump_follows_first_successor():
+    cfg = ControlFlowGraph("a", [
+        BasicBlock("a", ops=[Operation(0, Opcode.JUMP, [], [])],
+                   successors=["target", "never"]),
+        BasicBlock("target", ops=[_op(1, Opcode.LDI, "r", 7)]),
+        BasicBlock("never", ops=[_op(2, Opcode.LDI, "r", 8)]),
+    ])
+    assert run_cfg(Interpreter(Memory()), cfg, {})[Reg("r")] == 7
+
+
+def test_run_cfg_loop_terminates():
+    cfg = ControlFlowGraph("entry", [
+        BasicBlock("entry", ops=[_op(0, Opcode.LDI, "i", 0)],
+                   successors=["loop"]),
+        BasicBlock("loop", ops=[
+            _op(1, Opcode.ADD, "i", "i", 1),
+            _op(2, Opcode.CMPLT, "c", "i", 5),
+            Operation(3, Opcode.BR, [], [Reg("c")])],
+            successors=["loop", "done"]),
+        BasicBlock("done"),
+    ])
+    regs = run_cfg(Interpreter(Memory()), cfg, {})
+    assert regs[Reg("i")] == 5
+
+
+def test_run_cfg_step_budget():
+    cfg = ControlFlowGraph("spin", [
+        BasicBlock("spin", ops=[
+            _op(0, Opcode.LDI, "c", 1),
+            Operation(1, Opcode.BR, [], [Reg("c")])],
+            successors=["spin", "out"]),
+        BasicBlock("out"),
+    ])
+    with pytest.raises(TrapError):
+        run_cfg(Interpreter(Memory()), cfg, {}, max_steps=50)

@@ -1,0 +1,177 @@
+"""Deeper scheduler internals: swing set construction, ASAP/ALAP, the
+static-MII path, and schedule timing corner cases."""
+
+import pytest
+
+from repro.accelerator import PROPOSED_LA
+from repro.analysis import partition_loop
+from repro.ir import Imm, LoopBuilder, Opcode, Reg, build_dfg
+from repro.ir.opcodes import LatencyModel
+from repro.isa import STATIC_MII_KEY, annotate_static_mii
+from repro.scheduler import ScheduleFailure, modulo_schedule
+from repro.scheduler.priority import _asap_alap, _build_sets, swing_priority
+from repro.vm import TranslationOptions, translate_loop
+from repro.workloads import kernels as K
+from repro.workloads.example_fig5 import fig5_loop
+
+
+def _compute(loop):
+    dfg = build_dfg(loop)
+    part = partition_loop(loop, dfg)
+    return dfg, part.compute
+
+
+# -- ASAP / ALAP ----------------------------------------------------------------
+
+def test_asap_respects_latency_chain():
+    b = LoopBuilder("t", trip_count=4)
+    v = b.mul(2, 3)       # 3 cycles
+    w = b.add(v, 1)
+    u = b.add(w, 1)
+    loop = b.finish()
+    dfg, compute = _compute(loop)
+    earliest, latest = _asap_alap(dfg, compute, ii=8)
+    ids = [op.opid for op in loop.body[:3]]
+    assert earliest[ids[0]] == 0
+    assert earliest[ids[1]] == 3
+    assert earliest[ids[2]] == 4
+    for opid in ids:
+        assert latest[opid] >= earliest[opid]
+
+
+def test_asap_alap_equal_on_critical_path():
+    b = LoopBuilder("t", trip_count=4)
+    v = b.mul(2, 3)
+    w = b.mul(v, 3)
+    loop = b.finish()
+    dfg, compute = _compute(loop)
+    earliest, latest = _asap_alap(dfg, compute, ii=8)
+    ids = [op.opid for op in loop.body[:2]]
+    # Only chain in the graph: zero mobility.
+    assert earliest[ids[0]] == latest[ids[0]]
+    assert earliest[ids[1]] == latest[ids[1]]
+
+
+def test_asap_handles_recurrence_at_recmii():
+    loop = fig5_loop()
+    dfg = build_dfg(loop)
+    part = partition_loop(loop, dfg)
+    earliest, latest = _asap_alap(dfg, part.compute, ii=4)
+    # Converged (no positive cycle at II=4): all values finite/sane.
+    assert all(-100 < earliest[n] < 100 for n in part.compute)
+
+
+# -- swing set construction ----------------------------------------------------------
+
+def test_build_sets_orders_recurrences_by_criticality():
+    loop = fig5_loop()
+    dfg = build_dfg(loop)
+    part = partition_loop(loop, dfg)
+    sets, scored = _build_sets(dfg, part.compute)
+    # Two recurrences (4 cycles each), then the acyclic remainder.
+    assert len(scored) == 2
+    assert all(mii == 4 for mii, _scc in scored)
+    flat = [n for s in sets for n in s]
+    assert sorted(flat) == sorted(part.compute)
+    assert len(flat) == len(set(flat))  # disjoint cover
+
+
+def test_build_sets_acyclic_only():
+    loop = K.color_convert(trip_count=8)
+    dfg = build_dfg(loop)
+    part = partition_loop(loop, dfg)
+    sets, scored = _build_sets(dfg, part.compute)
+    assert scored == []
+    assert len(sets) == 1
+
+
+def test_swing_scc_miis_exposed():
+    loop = fig5_loop()
+    dfg = build_dfg(loop)
+    part = partition_loop(loop, dfg)
+    pr = swing_priority(dfg, part.compute, 4)
+    assert [mii for mii, _ in pr.scc_miis] == [4, 4]
+
+
+# -- static MII path ------------------------------------------------------------------
+
+def test_static_mii_annotation_recorded():
+    loop = annotate_static_mii(K.sad_16(trip_count=8), PROPOSED_LA.units())
+    encoded = loop.annotations[STATIC_MII_KEY]
+    assert encoded["res"] >= 1 and encoded["rec"] >= 1
+
+
+def test_static_mii_same_machine_identical_ii():
+    loop = annotate_static_mii(K.adpcm_decode(trip_count=8),
+                               PROPOSED_LA.units())
+    dyn = translate_loop(loop, PROPOSED_LA)
+    sta = translate_loop(loop, PROPOSED_LA,
+                         TranslationOptions(use_static_mii=True))
+    assert dyn.ok and sta.ok
+    assert dyn.image.ii == sta.image.ii
+    # ...and the static path charges just two "loads".
+    assert sta.meter.units["resmii"] + sta.meter.units["recmii"] == 2
+
+
+def test_static_mii_inflates_ii_on_richer_machine():
+    loop = annotate_static_mii(K.color_convert(trip_count=8),
+                               PROPOSED_LA.units())
+    rich = PROPOSED_LA.with_(num_int_units=8)
+    dyn = translate_loop(loop, rich)
+    sta = translate_loop(loop, rich,
+                         TranslationOptions(use_static_mii=True))
+    assert dyn.ok and sta.ok
+    assert sta.image.ii >= dyn.image.ii
+    assert sta.image.ii > dyn.image.ii  # 8 units vs the encoded 2-unit MII
+
+
+def test_static_mii_costs_scheduling_on_poorer_machine():
+    loop = annotate_static_mii(K.gf_mult(trip_count=8),
+                               PROPOSED_LA.units())
+    poor = PROPOSED_LA.with_(num_int_units=1)
+    dyn = translate_loop(loop, poor)
+    sta = translate_loop(loop, poor,
+                         TranslationOptions(use_static_mii=True))
+    if dyn.ok and sta.ok:
+        assert sta.meter.units["scheduling"] >= dyn.meter.units["scheduling"]
+
+
+# -- latency-model plumbing ---------------------------------------------------------
+
+def test_custom_latency_model_changes_recmii():
+    slow_mul = LatencyModel(overrides={Opcode.MUL: 6})
+    b = LoopBuilder("t", trip_count=8)
+    acc = b.live_in("acc")
+    b.mul(acc, 3, dest=acc)
+    out = b.array("o")
+    i = b.counter()
+    b.store(b.add(out, i), acc)
+    loop = b.finish()
+
+    fast = translate_loop(loop, PROPOSED_LA)
+    slow = translate_loop(loop, PROPOSED_LA,
+                          TranslationOptions(latency_model=slow_mul))
+    assert fast.ok and slow.ok
+    assert slow.image.schedule.rec_mii == 6
+    assert fast.image.schedule.rec_mii == 3
+
+
+# -- timing corner cases --------------------------------------------------------------
+
+def test_single_iteration_kernel_cycles():
+    loop = K.sad_16(trip_count=8)
+    dfg = build_dfg(loop)
+    part = partition_loop(loop, dfg)
+    sched = modulo_schedule(dfg, part.compute, PROPOSED_LA.units(),
+                            max_ii=16)
+    assert sched.kernel_cycles(1, dfg) == sched.completion_time(dfg)
+
+
+def test_stage_count_at_least_one():
+    loop = K.bitpack(trip_count=8)
+    dfg = build_dfg(loop)
+    part = partition_loop(loop, dfg)
+    sched = modulo_schedule(dfg, part.compute, PROPOSED_LA.units(),
+                            max_ii=16)
+    assert sched.stage_count >= 1
+    assert sched.cycle(sched.times and min(sched.times)) < sched.ii

