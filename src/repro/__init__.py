@@ -22,7 +22,10 @@ Package map:
     ``repro.accelerator`` — the loop accelerator machine + area model
     ``repro.cpu``         — scalar interpreter and in-order timing models
     ``repro.isa``         — binary encoding + Figure 9 annotations
-    ``repro.vm``          — the co-designed VM (translator, code cache)
+    ``repro.vm``          — the co-designed VM (translator, code cache,
+                            guarded execution)
+    ``repro.errors``      — structured failure taxonomy
+    ``repro.faults``      — seeded fault-injection campaigns
     ``repro.workloads``   — kernels, benchmark suite, loop generator
     ``repro.experiments`` — one module per paper figure/table
 """
@@ -36,20 +39,23 @@ from repro.accelerator import (
     accelerator_area,
 )
 from repro.cpu import ARM11, CORTEX_A8, QUAD_ISSUE, Interpreter, Memory
+from repro.errors import ReproError, TranslationError
 from repro.ir import Loop, LoopBuilder, Opcode, build_dfg
 from repro.vm import (
+    GuardConfig,
+    GuardedExecutor,
     TranslationOptions,
     VMConfig,
     VirtualMachine,
     translate_loop,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "ARM11", "CORTEX_A8", "INFINITE_LA", "Interpreter", "KernelImage",
-    "LAConfig", "Loop", "LoopAccelerator", "LoopBuilder", "Memory",
-    "Opcode", "PROPOSED_LA", "QUAD_ISSUE", "TranslationOptions",
-    "VMConfig", "VirtualMachine", "accelerator_area", "build_dfg",
-    "translate_loop",
+    "ARM11", "CORTEX_A8", "GuardConfig", "GuardedExecutor", "INFINITE_LA",
+    "Interpreter", "KernelImage", "LAConfig", "Loop", "LoopAccelerator",
+    "LoopBuilder", "Memory", "Opcode", "PROPOSED_LA", "QUAD_ISSUE",
+    "ReproError", "TranslationError", "TranslationOptions", "VMConfig",
+    "VirtualMachine", "accelerator_area", "build_dfg", "translate_loop",
 ]

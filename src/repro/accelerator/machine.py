@@ -46,8 +46,9 @@ from repro.scheduler.rotation import PhysicalAssignment
 from repro.scheduler.schedule import ModuloSchedule
 
 
-class AcceleratorFault(RuntimeError):
-    """Raised when execution violates a structural invariant (a bug)."""
+# Re-exported from the structured failure taxonomy; historically this
+# class was defined here and importers still reach it via this module.
+from repro.errors import AcceleratorFault  # noqa: E402  (re-export)
 
 
 @dataclass

@@ -24,7 +24,7 @@ table actually runs).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Callable, Mapping, Optional
 
 from repro.accelerator.machine import AcceleratorFault, KernelImage
 from repro.cpu.interpreter import Interpreter
@@ -135,14 +135,38 @@ def _precompute_unscheduled(resolver: _DataflowResolver,
                                              if d in regs}
 
 
+def _fault_site(op: Operation) -> str:
+    """Classify where a produced value physically lives for injection.
+
+    CCA outputs come straight off the combined array, load results sit
+    in the stream FIFOs, and every other FU result lands in the rotating
+    register file.
+    """
+    if op.opcode is Opcode.CCA_OP:
+        return "cca"
+    if op.is_load:
+        return "fifo"
+    return "regfile"
+
+
 def execute_overlapped(image: KernelImage, memory: Memory,
                        live_in_values: Mapping[Reg, Value],
-                       trip_count: Optional[int] = None) -> OverlappedRun:
+                       trip_count: Optional[int] = None,
+                       fault_hook: Optional[Callable[..., Value]] = None
+                       ) -> OverlappedRun:
     """Execute *image* with true software-pipeline overlap.
 
     Restrictions: fixed-trip loops only (a speculative while-loop would
     need store buffering to undo over-fetched iterations, which this
     executor does not model).
+
+    ``fault_hook`` is the fault-injection seam: when given, every value
+    a scheduled op writes into machine state passes through
+    ``fault_hook(site, op, iteration, reg, value)`` — ``site`` is
+    ``"regfile"``, ``"fifo"`` or ``"cca"`` — and the (possibly
+    corrupted) return value is what downstream consumers observe.  The
+    differential guard (:mod:`repro.vm.guard`) exists to catch exactly
+    these corruptions.
     """
     loop = image.loop
     schedule = image.schedule
@@ -196,6 +220,10 @@ def execute_overlapped(image: KernelImage, memory: Memory,
                     env[d] = resolver.read(position, d, k)
                 except AcceleratorFault:
                     pass  # never initialised and never read later
+        if fault_hook is not None and env:
+            site = _fault_site(op)
+            for d in list(env):
+                env[d] = fault_hook(site, op, k, d, env[d])
         resolver.values[(op.opid, k)] = env
         resource = sched_resource(op)
         busy[resource] = busy.get(resource, 0) + 1

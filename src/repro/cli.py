@@ -8,6 +8,7 @@ inspects a kernel's translation without writing code:
     python -m repro fig8 --output results.txt
     python -m repro translate adpcm_dec        # one loop, full detail
     python -m repro kernels                    # the workload library
+    python -m repro faults -n 120 --seed 2008  # guarded-mode fault campaign
 """
 
 from __future__ import annotations
@@ -190,11 +191,17 @@ def cmd_translate(name: str) -> str:
     from repro.scheduler import ModuloReservationTable, sched_resource
     from repro.vm import translate_loop
 
+    from repro.errors import SchedulingError
+
     loop = _kernel_by_name(name)
     lines = [loop.dump(), ""]
     result = translate_loop(loop, PROPOSED_LA)
     if not result.ok:
-        lines.append(f"REJECTED: {result.failure}")
+        lines.append(f"REJECTED [{result.failure_kind}]: {result.failure}")
+        reason = result.failure_reason
+        if isinstance(reason, SchedulingError) \
+                and reason.schedule_failure is not None:
+            lines.append(reason.schedule_failure.describe())
         return "\n".join(lines)
     image = result.image
     lines.append(
@@ -211,6 +218,19 @@ def cmd_translate(name: str) -> str:
     lines.append("")
     lines.append(mrt.render(placements))
     return "\n".join(lines)
+
+
+def cmd_faults(injections: int, seed: int, mode: str) -> str:
+    """Run a seeded fault-injection campaign through the guarded runtime."""
+    from repro.faults import CampaignConfig, format_campaign, run_campaign
+    from repro.vm.guard import GuardConfig
+
+    guard = GuardConfig(mode=mode, max_failures=10_000,
+                        backoff_invocations=2)
+    config = CampaignConfig(injections=injections, seed=seed, guard=guard)
+    report = run_campaign(
+        config, progress=lambda msg: print(f"... {msg}", file=sys.stderr))
+    return format_campaign(report)
 
 
 def cmd_kernels() -> str:
@@ -236,6 +256,16 @@ def main(argv: Optional[list[str]] = None) -> int:
                                help="translate one kernel and print its "
                                     "reservation table")
     translate.add_argument("kernel")
+    faults = sub.add_parser("faults",
+                            help="seeded fault-injection campaign against "
+                                 "the guarded runtime")
+    faults.add_argument("--injections", "-n", type=int, default=120,
+                        help="bit flips to inject (default 120)")
+    faults.add_argument("--seed", type=int, default=2008,
+                        help="campaign RNG seed (default 2008)")
+    faults.add_argument("--guard", choices=("checked", "off"),
+                        default="checked",
+                        help="guard mode under test (default checked)")
     for name, (description, _fn) in FIGURES.items():
         fig = sub.add_parser(name, help=description)
         fig.add_argument("--output", "-o", default=None,
@@ -248,6 +278,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"  {name.ljust(width)}  {description}")
         print(f"  {'translate'.ljust(width)}  translate a kernel "
               f"(see 'kernels')")
+        print(f"  {'faults'.ljust(width)}  fault-injection campaign "
+              f"(guarded runtime)")
         return 0
     if args.command == "kernels":
         print(cmd_kernels())
@@ -259,6 +291,10 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(exc.args[0], file=sys.stderr)
             return 2
         return 0
+    if args.command == "faults":
+        report = cmd_faults(args.injections, args.seed, args.guard)
+        print(report)
+        return 0 if "PASS" in report.rsplit("verdict:", 1)[-1] else 1
     _description, fn = FIGURES[args.command]
     text = fn()
     print(text)

@@ -96,3 +96,13 @@ class Memory:
         other._next_base = self._next_base
         other._arrays = dict(self._arrays)
         return other
+
+    def restore_from(self, other: "Memory") -> None:
+        """Adopt *other*'s cell contents (commit or roll back a clone).
+
+        The guarded runtime executes kernels on clones and commits
+        whichever clone the verdict blesses; access counters stay local.
+        """
+        self._cells = dict(other._cells)
+        self._next_base = max(self._next_base, other._next_base)
+        self._arrays = dict(other._arrays)

@@ -1,0 +1,198 @@
+"""Structured failure taxonomy for the co-designed VM.
+
+VEAL's virtualised contract is that acceleration may *never* change
+program semantics: any loop the system cannot translate, admit, or
+execute correctly must keep running on the baseline core (Section 4.1's
+schedulability check is the first such guard).  Every component that can
+refuse or mis-execute a loop therefore reports through this hierarchy so
+the runtime can react mechanically — fall back to scalar, blacklist,
+deoptimize — instead of pattern-matching ad-hoc strings.
+
+The taxonomy has two trunks:
+
+* :class:`TranslationError` — the translator could not produce a kernel
+  image (structural, resource, scheduling, register or budget reasons).
+  These are *expected* outcomes; :func:`~repro.vm.translator.translate_loop`
+  converts them into a failed :class:`~repro.vm.translator.TranslationResult`
+  rather than raising to callers.
+* :class:`ExecutionError` — a translated kernel misbehaved at run time
+  (a structural invariant tripped, or the differential guard observed a
+  semantic divergence).  These trigger deoptimization in the guarded
+  runtime (:mod:`repro.vm.guard`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class ReproError(Exception):
+    """Base class of every structured failure in the reproduction.
+
+    ``kind`` is a stable, machine-readable tag (the blacklist and the
+    campaign reports aggregate on it); ``details`` carries arbitrary
+    structured context for diagnostics.
+    """
+
+    kind: str = "error"
+
+    def __init__(self, message: str, **details: Any) -> None:
+        super().__init__(message)
+        self.message = message
+        self.details = details
+
+    def __str__(self) -> str:
+        return self.message
+
+
+# -- translation-time failures ------------------------------------------------
+
+class TranslationError(ReproError):
+    """The translator could not produce a kernel image for a loop."""
+
+    kind = "translation"
+
+    def __init__(self, message: str, loop_name: Optional[str] = None,
+                 **details: Any) -> None:
+        super().__init__(message, **details)
+        self.loop_name = loop_name
+
+
+class SchedulabilityError(TranslationError):
+    """The loop's structure disqualifies it (Figure 2 categories)."""
+
+    kind = "schedulability"
+
+    def __init__(self, message: str, category: Optional[str] = None,
+                 reasons: Optional[list[str]] = None, **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.category = category
+        self.reasons = list(reasons or [])
+
+
+class StreamLimitError(TranslationError):
+    """More load/store streams than the accelerator provides."""
+
+    kind = "stream-limit"
+
+    def __init__(self, message: str, stream_kind: str = "",
+                 required: int = 0, available: int = 0, **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.stream_kind = stream_kind
+        self.required = required
+        self.available = available
+
+
+class ResourceClassError(TranslationError):
+    """The loop needs a function-unit class the accelerator lacks."""
+
+    kind = "resource-class"
+
+    def __init__(self, message: str, resource: Optional[str] = None,
+                 **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.resource = resource
+
+
+class SchedulingError(TranslationError):
+    """Modulo scheduling failed at every II up to the maximum.
+
+    ``schedule_failure`` is the scheduler's
+    :class:`~repro.scheduler.sms.ScheduleFailure`, carrying per-attempt
+    diagnostics (which resource or recurrence blocked each II) for the
+    blacklist and the CLI.
+    """
+
+    kind = "scheduling"
+
+    def __init__(self, message: str, schedule_failure: Any = None,
+                 **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.schedule_failure = schedule_failure
+
+
+class RegisterPressureError(TranslationError):
+    """Register demand exceeds the accelerator's register files."""
+
+    kind = "register-pressure"
+
+    def __init__(self, message: str, int_required: int = 0,
+                 fp_required: int = 0, int_available: int = 0,
+                 fp_available: int = 0, **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.int_required = int_required
+        self.fp_required = fp_required
+        self.int_available = int_available
+        self.fp_available = fp_available
+
+
+class TranslationBudgetExceeded(TranslationError):
+    """Translation work passed the configured budget and was aborted.
+
+    A pathological loop (SMS backtracking blow-up, enormous bodies) must
+    abort cleanly and fall back to scalar rather than hang a sweep; the
+    :class:`~repro.vm.costmodel.TranslationMeter` raises this as soon as
+    its charged work units pass ``budget_units``.
+    """
+
+    kind = "budget"
+
+    def __init__(self, message: str, budget_units: int = 0,
+                 spent_units: int = 0, phase: Optional[str] = None,
+                 **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.budget_units = budget_units
+        self.spent_units = spent_units
+        self.phase = phase
+
+
+# -- run-time failures --------------------------------------------------------
+
+class ExecutionError(ReproError):
+    """A translated kernel misbehaved during execution."""
+
+    kind = "execution"
+
+
+class AcceleratorFault(ExecutionError, RuntimeError):
+    """Execution violated a structural invariant of the machine model.
+
+    (Address generator disagreement, FIFO misuse, a value read before
+    its producer ran.)  Subclasses ``RuntimeError`` for backward
+    compatibility with the original definition in
+    :mod:`repro.accelerator.machine`.
+    """
+
+    kind = "accelerator-fault"
+
+
+class GuardViolation(ExecutionError):
+    """The differential guard observed a semantic divergence.
+
+    Raised (or recorded) when a checked execution's live-outs or touched
+    memory differ from the scalar reference — the signal that drives
+    deoptimization.
+    """
+
+    kind = "guard-violation"
+
+    def __init__(self, message: str, loop_name: Optional[str] = None,
+                 mismatches: Optional[list] = None, **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.loop_name = loop_name
+        self.mismatches = list(mismatches or [])
+
+
+__all__ = [
+    "AcceleratorFault",
+    "ExecutionError",
+    "GuardViolation",
+    "RegisterPressureError",
+    "ReproError",
+    "ResourceClassError",
+    "SchedulabilityError",
+    "SchedulingError",
+    "StreamLimitError",
+    "TranslationBudgetExceeded",
+    "TranslationError",
+]

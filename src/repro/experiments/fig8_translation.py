@@ -21,12 +21,18 @@ from repro.workloads.suite import Benchmark, media_fp_benchmarks
 
 @dataclass
 class TranslationProfile:
-    """Per-benchmark average translation cost with phase breakdown."""
+    """Per-benchmark average translation cost with phase breakdown.
+
+    ``skipped`` tallies untranslatable loops by their typed failure kind
+    (the :mod:`repro.errors` taxonomy) so the profile reports *why*
+    coverage is incomplete, not just that it is.
+    """
 
     benchmark: str
     loops: int
     avg_instructions: float
     phase_instructions: dict[str, float] = field(default_factory=dict)
+    skipped: dict[str, int] = field(default_factory=dict)
 
 
 def run_translation_profile(
@@ -39,9 +45,12 @@ def run_translation_profile(
     for bench in benches:
         totals = {p: 0.0 for p in PHASES}
         count = 0
+        skipped: dict[str, int] = {}
         for loop in bench.kernels:
             result = translate_loop(loop, config, options)
             if not result.ok:
+                kind = result.failure_kind or "unknown"
+                skipped[kind] = skipped.get(kind, 0) + 1
                 continue
             count += 1
             for phase, instrs in result.meter.instructions().items():
@@ -52,6 +61,7 @@ def run_translation_profile(
             benchmark=bench.name, loops=count,
             avg_instructions=sum(totals.values()) / count,
             phase_instructions={p: v / count for p, v in totals.items()},
+            skipped=skipped,
         ))
     return profiles
 
@@ -84,6 +94,14 @@ def format_translation(profiles: list[TranslationProfile]) -> str:
               f"{avg['resmii'] + avg['recmii']:,.0f} (paper ~1,250), "
               f"scheduling+regalloc "
               f"{avg['scheduling'] + avg['regalloc']:,.0f} (paper ~9,650)")
+    skipped: dict[str, int] = {}
+    for prof in profiles:
+        for kind, n in prof.skipped.items():
+            skipped[kind] = skipped.get(kind, 0) + n
+    if skipped:
+        shares += ("\nuntranslated loops by failure kind: "
+                   + ", ".join(f"{kind}={n}"
+                               for kind, n in sorted(skipped.items())))
     return format_table(headers, rows,
                         title="Figure 8: translation penalty per loop "
                               "(modelled instructions)") + shares

@@ -1,0 +1,34 @@
+"""Fault injection: seeded bit-flip campaigns against the accelerator.
+
+Proves the differential guard (:mod:`repro.vm.guard`) actually catches
+corrupted execution: a campaign flips single bits in the register file,
+stream FIFOs and CCA outputs of the overlapped pipeline executor and
+checks that every observable corruption is detected, deoptimized, and
+recovered to bit-identical scalar results.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    FaultSite,
+    FaultSpec,
+    flip_bit,
+)
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    InjectionRun,
+    format_campaign,
+    run_campaign,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "FaultInjector",
+    "FaultSite",
+    "FaultSpec",
+    "InjectionRun",
+    "flip_bit",
+    "format_campaign",
+    "run_campaign",
+]

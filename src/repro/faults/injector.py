@@ -1,0 +1,101 @@
+"""Single-event-upset model: one bit flip at one datapath site.
+
+The injector is a :data:`~repro.vm.guard.FaultHook` — the overlapped
+pipeline executor passes every value it writes into machine state
+through the hook, tagged with the physical site it lands in
+(``regfile``, ``fifo``, ``cca``).  The injector counts matching events
+and corrupts exactly the ``target_index``-th one by flipping
+``bit`` — XOR on the two's-complement pattern for integers, an IEEE-754
+bit flip for doubles — leaving every other value untouched.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cpu.memory import Value
+from repro.cpu.interpreter import wrap64
+
+
+class FaultSite(enum.Enum):
+    """Where in the accelerator datapath the upset lands."""
+
+    REGFILE = "regfile"  # FU result entering the rotating register file
+    FIFO = "fifo"        # load data sitting in a stream FIFO
+    CCA = "cca"          # output of the combined computation array
+
+
+def flip_bit(value: Value, bit: int) -> Value:
+    """Flip one bit of *value*'s machine representation.
+
+    Integers flip in 64-bit two's complement (re-wrapped so the result
+    stays a valid interpreter value); floats flip in their IEEE-754
+    binary64 image, which may yield an infinity or NaN — real upsets do.
+    """
+    if isinstance(value, float):
+        (bits,) = struct.unpack("<Q", struct.pack("<d", value))
+        bits ^= 1 << (bit % 64)
+        (flipped,) = struct.unpack("<d", struct.pack("<Q", bits))
+        return flipped
+    return wrap64(int(value) ^ (1 << (bit % 64)))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned injection: which site, which dynamic event, which bit."""
+
+    site: FaultSite
+    target_index: int
+    bit: int
+
+
+@dataclass
+class FaultInjector:
+    """Stateful hook that fires its spec exactly once.
+
+    ``fired`` reports whether the targeted dynamic event actually
+    occurred during the run (a spec can miss — e.g. a CCA target on a
+    loop the mapper left uncombined); ``events`` counts how many values
+    passed the matching site in total, which campaigns use to aim
+    subsequent specs.
+    """
+
+    spec: FaultSpec
+    fired: bool = False
+    events: int = 0
+    site_events: dict[str, int] = field(default_factory=dict)
+    corrupted_detail: Optional[str] = None
+
+    def __call__(self, site: str, op, k: int, reg, value: Value) -> Value:
+        self.site_events[site] = self.site_events.get(site, 0) + 1
+        if site != self.spec.site.value:
+            return value
+        index = self.events
+        self.events += 1
+        if self.fired or index != self.spec.target_index:
+            return value
+        corrupted = flip_bit(value, self.spec.bit)
+        self.fired = True
+        self.corrupted_detail = (
+            f"{site} op{op.opid} iter {k} {reg}: {value!r} -> {corrupted!r} "
+            f"(bit {self.spec.bit % 64})")
+        return corrupted
+
+
+class SiteProfiler:
+    """Dry-run hook that only counts events per site (no corruption).
+
+    One profiling pass per (loop, image) tells the campaign how many
+    injectable events each site offers, so every generated spec is
+    guaranteed to land on a real dynamic event.
+    """
+
+    def __init__(self) -> None:
+        self.site_events: dict[str, int] = {}
+
+    def __call__(self, site: str, op, k: int, reg, value: Value) -> Value:
+        self.site_events[site] = self.site_events.get(site, 0) + 1
+        return value

@@ -9,11 +9,18 @@ values live as briefly as possible.  A window is II cycles wide — if no
 slot in II consecutive cycles is free, none ever will be, so the attempt
 fails and II is incremented (Section 4.1's op-10 walk-through shows the
 increment-on-conflict behaviour at fine grain).
+
+Failed schedules are not silent: every attempt records *which* op could
+not be placed and on what resource (or that its dependence window
+closed), and the final :class:`ScheduleFailure` aggregates those into
+the blocking resource/recurrence diagnosis the VM's blacklist and the
+CLI surface.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.ir.dfg import DataflowGraph
@@ -23,19 +30,93 @@ from repro.scheduler.priority import PriorityResult, height_priority, swing_prio
 from repro.scheduler.schedule import ModuloSchedule
 
 
+@dataclass(frozen=True)
+class AttemptDiagnostic:
+    """Why one list-scheduling attempt at one II failed.
+
+    ``cause`` is ``"window closed"`` when an op's dependence window was
+    empty (latest start below earliest start — a recurrence squeeze) or
+    ``"resource conflict"`` when every slot in the II-wide window was
+    occupied on ``resource``.
+    """
+
+    ii: int
+    order_kind: str
+    failed_opid: Optional[int]
+    resource: Optional[str]
+    cause: str
+
+    def describe(self) -> str:
+        where = (f"op{self.failed_opid}" if self.failed_opid is not None
+                 else "?")
+        if self.cause == "resource conflict":
+            return (f"II={self.ii} ({self.order_kind} order): {where} found "
+                    f"no free {self.resource!r} slot")
+        return (f"II={self.ii} ({self.order_kind} order): {where}'s "
+                f"dependence window closed")
+
+
 @dataclass
 class ScheduleFailure:
-    """Why a loop could not be modulo scheduled onto the target."""
+    """Why a loop could not be modulo scheduled onto the target.
+
+    Beyond the human-readable ``reason``, the failure carries the MII
+    breakdown and every attempt's diagnostic so callers (the VM
+    blacklist, the CLI's ``translate`` command) can report *which*
+    resource or recurrence is to blame without re-running the scheduler.
+    """
 
     reason: str
     mii: Optional[MIIResult] = None
+    attempts: list[AttemptDiagnostic] = field(default_factory=list)
+
+    @property
+    def blocking_resource(self) -> Optional[str]:
+        """The resource most often responsible across failed attempts."""
+        resources = [a.resource for a in self.attempts
+                     if a.resource is not None]
+        if not resources:
+            return None
+        return Counter(resources).most_common(1)[0][0]
+
+    @property
+    def binding_constraint(self) -> Optional[str]:
+        """Which MII component bound the schedule, when known."""
+        if self.mii is None:
+            return None
+        if self.mii.rec_mii >= self.mii.res_mii:
+            return f"recurrence (RecMII={self.mii.rec_mii})"
+        binding = [rc for rc, v in self.mii.per_resource.items()
+                   if v == self.mii.res_mii]
+        name = binding[0] if binding else "resource"
+        return f"resource {name!r} (ResMII={self.mii.res_mii})"
+
+    def describe(self) -> str:
+        """Multi-line diagnostic for logs and the CLI."""
+        lines = [self.reason]
+        if self.binding_constraint is not None:
+            lines.append(f"  binding constraint: {self.binding_constraint}")
+        if self.blocking_resource is not None:
+            lines.append(f"  blocking resource: {self.blocking_resource!r}")
+        for attempt in self.attempts[-4:]:
+            lines.append(f"  {attempt.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _PlacementFailure:
+    """Internal: one op's placement failing inside ``_try_schedule``."""
+
+    failed_opid: Optional[int]
+    resource: Optional[str]
+    cause: str
 
 
 def _try_schedule(dfg: DataflowGraph, order: list[int],
                   earliest_hint: dict[int, int], ii: int,
                   units: dict[str, int],
                   work: Optional[Callable[[int], None]] = None
-                  ) -> Optional[dict[int, int]]:
+                  ) -> dict[int, int] | _PlacementFailure:
     """One list-scheduling attempt at a fixed II."""
     mrt = ModuloReservationTable(ii, units)
     times: dict[int, int] = {}
@@ -70,7 +151,7 @@ def _try_schedule(dfg: DataflowGraph, order: list[int],
         else:
             top = min(lstart, estart + ii - 1)
             if top < estart:
-                return None
+                return _PlacementFailure(opid, resource, "window closed")
             candidates = range(estart, top + 1)
         placed_at: Optional[int] = None
         for t in candidates:
@@ -80,7 +161,7 @@ def _try_schedule(dfg: DataflowGraph, order: list[int],
                 placed_at = t
                 break
         if placed_at is None:
-            return None
+            return _PlacementFailure(opid, resource, "resource conflict")
         mrt.reserve(placed_at, resource)
         times[opid] = placed_at
         scheduled.add(opid)
@@ -119,16 +200,20 @@ def modulo_schedule(dfg: DataflowGraph, schedulable: set[int],
     if mii_result is None:
         mii_result = compute_mii(dfg, schedulable, units, work)
     if not mii_result.feasible:
+        missing = [rc for rc, v in mii_result.per_resource.items()
+                   if v >= 10 ** 9]
         return ScheduleFailure(
-            "resource class required by the loop is absent", mii_result)
+            "resource class required by the loop is absent"
+            + (f" ({', '.join(sorted(missing))})" if missing else ""),
+            mii_result)
     mii = mii_result.mii
     if mii > max_ii:
         return ScheduleFailure(
             f"MII {mii} exceeds accelerator maximum II {max_ii}", mii_result)
     static_priority = priority is not None
 
-    def orders_for(ii: int) -> list[PriorityResult]:
-        """Candidate orderings for one II attempt.
+    def orders_for(ii: int) -> list[tuple[str, PriorityResult]]:
+        """Candidate (kind, ordering) pairs for one II attempt.
 
         With a static encoding the order is fixed (that is the point of
         the encoding); a cheap program-order fallback still applies so a
@@ -139,18 +224,22 @@ def modulo_schedule(dfg: DataflowGraph, schedulable: set[int],
         secondary attempt.
         """
         pwork = priority_work if priority_work is not None else work
-        candidates: list[PriorityResult] = []
+        candidates: list[tuple[str, PriorityResult]] = []
         if static_priority:
             assert priority is not None
-            candidates.append(priority)
+            candidates.append(("static", priority))
         elif priority_kind == "swing":
-            candidates.append(swing_priority(dfg, schedulable, ii, pwork))
-            candidates.append(height_priority(dfg, schedulable, ii, pwork))
+            candidates.append(
+                ("swing", swing_priority(dfg, schedulable, ii, pwork)))
+            candidates.append(
+                ("height", height_priority(dfg, schedulable, ii, pwork)))
         elif priority_kind == "height":
-            candidates.append(height_priority(dfg, schedulable, ii, pwork))
+            candidates.append(
+                ("height", height_priority(dfg, schedulable, ii, pwork)))
         else:
             raise ValueError(f"unknown priority kind {priority_kind!r}")
-        candidates.append(PriorityResult.from_order(sorted(schedulable)))
+        candidates.append(
+            ("program", PriorityResult.from_order(sorted(schedulable))))
         return candidates
 
     def normalise(result: PriorityResult) -> list[int]:
@@ -158,13 +247,20 @@ def modulo_schedule(dfg: DataflowGraph, schedulable: set[int],
         missing = schedulable - set(order)
         return order + sorted(missing)
 
+    attempts: list[AttemptDiagnostic] = []
     for ii in range(mii, max_ii + 1):
-        for candidate in orders_for(ii):
-            times = _try_schedule(dfg, normalise(candidate),
-                                  candidate.earliest, ii, units, work)
-            if times is not None:
-                return ModuloSchedule(ii=ii, times=times, units=dict(units),
-                                      mii=mii, res_mii=mii_result.res_mii,
-                                      rec_mii=mii_result.rec_mii)
+        for order_kind, candidate in orders_for(ii):
+            outcome = _try_schedule(dfg, normalise(candidate),
+                                    candidate.earliest, ii, units, work)
+            if isinstance(outcome, _PlacementFailure):
+                attempts.append(AttemptDiagnostic(
+                    ii=ii, order_kind=order_kind,
+                    failed_opid=outcome.failed_opid,
+                    resource=outcome.resource, cause=outcome.cause))
+                continue
+            return ModuloSchedule(ii=ii, times=outcome, units=dict(units),
+                                  mii=mii, res_mii=mii_result.res_mii,
+                                  rec_mii=mii_result.rec_mii)
     return ScheduleFailure(
-        f"no feasible schedule up to maximum II {max_ii}", mii_result)
+        f"no feasible schedule up to maximum II {max_ii}", mii_result,
+        attempts)

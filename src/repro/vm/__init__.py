@@ -1,4 +1,4 @@
-"""Co-designed virtual machine: translator, code cache, runtime."""
+"""Co-designed virtual machine: translator, code cache, runtime, guard."""
 
 from repro.vm.codecache import CacheStats, CodeCache
 from repro.vm.costmodel import (
@@ -6,6 +6,15 @@ from repro.vm.costmodel import (
     PHASES,
     TranslationMeter,
     translation_cycles,
+)
+from repro.vm.guard import (
+    GuardConfig,
+    GuardStats,
+    GuardVerdict,
+    GuardedExecutor,
+    GuardedRun,
+    LoopBlacklist,
+    differential_check,
 )
 from repro.vm.runtime import AppRun, LoopOutcome, VMConfig, VirtualMachine
 from repro.vm.translator import (
@@ -15,8 +24,9 @@ from repro.vm.translator import (
 )
 
 __all__ = [
-    "AppRun", "CacheStats", "CodeCache", "DEFAULT_WEIGHTS", "LoopOutcome",
-    "PHASES", "TranslationMeter", "TranslationOptions",
-    "TranslationResult", "VMConfig", "VirtualMachine",
-    "translate_loop", "translation_cycles",
+    "AppRun", "CacheStats", "CodeCache", "DEFAULT_WEIGHTS", "GuardConfig",
+    "GuardStats", "GuardVerdict", "GuardedExecutor", "GuardedRun",
+    "LoopBlacklist", "LoopOutcome", "PHASES", "TranslationMeter",
+    "TranslationOptions", "TranslationResult", "VMConfig", "VirtualMachine",
+    "differential_check", "translate_loop", "translation_cycles",
 ]

@@ -21,6 +21,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def accesses(self) -> int:
@@ -60,6 +61,23 @@ class CodeCache(Generic[T]):
             self._entries.popitem(last=False)
             self.stats.evictions += 1
         self._entries[key] = value
+
+    def invalidate(self, key: str) -> bool:
+        """Deoptimization support: drop *key* regardless of recency.
+
+        Returns True when an entry was actually removed.  Invalidations
+        are counted separately from capacity evictions so the guard's
+        deoptimization traffic is visible in the stats.
+        """
+        if key not in self._entries:
+            return False
+        del self._entries[key]
+        self.stats.invalidations += 1
+        return True
+
+    def keys(self) -> list[str]:
+        """Current keys, LRU first (for tests and diagnostics)."""
+        return list(self._entries)
 
     def __contains__(self, key: str) -> bool:
         return key in self._entries

@@ -19,8 +19,11 @@ dwarf the single list-scheduling pass.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
+
+from repro.errors import TranslationBudgetExceeded
 
 #: Phase names, in pipeline order.
 PHASES = (
@@ -51,14 +54,48 @@ DEFAULT_WEIGHTS: dict[str, float] = {
 
 @dataclass
 class TranslationMeter:
-    """Accumulates per-phase work during one loop translation."""
+    """Accumulates per-phase work during one loop translation.
+
+    When ``budget_units`` is set the meter doubles as the translation
+    *budget* enforcer: the moment the charged total passes the budget,
+    :meth:`charge` raises
+    :class:`~repro.errors.TranslationBudgetExceeded`, aborting the
+    translation mid-phase.  The translator catches it and falls back to
+    scalar execution — a pathological loop (e.g. an SMS backtracking
+    blow-up over a huge body) costs a bounded amount of VM time instead
+    of hanging a sweep.  ``deadline_s`` adds an optional wall-clock
+    guard checked on the same path (coarse, since it only triggers on a
+    charge, but every phase charges per unit of work).
+    """
 
     units: dict[str, int] = field(default_factory=dict)
+    budget_units: Optional[int] = None
+    deadline_s: Optional[float] = None
+    _total: int = 0
+    _started_at: float = field(default_factory=time.monotonic)
+
+    def total_units(self) -> int:
+        return self._total
 
     def charge(self, phase: str, amount: int = 1) -> None:
         if phase not in PHASES:
             raise KeyError(f"unknown translation phase {phase!r}")
         self.units[phase] = self.units.get(phase, 0) + amount
+        self._total += amount
+        if self.budget_units is not None and self._total > self.budget_units:
+            raise TranslationBudgetExceeded(
+                f"translation budget of {self.budget_units} work units "
+                f"exceeded during the {phase!r} phase "
+                f"({self._total} units charged)",
+                budget_units=self.budget_units, spent_units=self._total,
+                phase=phase)
+        if self.deadline_s is not None and \
+                time.monotonic() - self._started_at > self.deadline_s:
+            raise TranslationBudgetExceeded(
+                f"translation wall-clock deadline of {self.deadline_s}s "
+                f"exceeded during the {phase!r} phase",
+                budget_units=self.budget_units or 0,
+                spent_units=self._total, phase=phase)
 
     def charger(self, phase: str) -> Callable[[int], None]:
         """A callback bound to *phase*, in the shape analyses expect."""
@@ -80,6 +117,7 @@ class TranslationMeter:
     def merge(self, other: "TranslationMeter") -> None:
         for phase, units in other.units.items():
             self.units[phase] = self.units.get(phase, 0) + units
+            self._total += units
 
 
 def translation_cycles(instructions: float, cpi: float = 1.0) -> float:

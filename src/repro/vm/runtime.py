@@ -22,8 +22,10 @@ from repro.cpu.memory import Memory
 from repro.cpu.pipeline import ARM11, CPUConfig, InOrderPipeline
 from repro.ir.cfg import Program, identify_loops, linear_program
 from repro.ir.loop import Loop
+from repro.errors import AcceleratorFault
 from repro.vm.codecache import CodeCache
 from repro.vm.costmodel import translation_cycles
+from repro.vm.guard import GuardConfig, differential_check
 from repro.vm.translator import (
     TranslationOptions,
     TranslationResult,
@@ -71,6 +73,13 @@ class VMConfig:
     #: code-cache-miss retranslations overlap with continued scalar
     #: execution and cost nothing here.
     parallel_translation: bool = False
+    #: Guarded-execution policy.  In ``"checked"`` mode every functional
+    #: accelerator invocation is differentially verified against the
+    #: scalar interpreter; a divergence (or a structural accelerator
+    #: fault) deoptimizes the loop back to scalar execution instead of
+    #: propagating wrong results — the virtualised never-change-semantics
+    #: contract, enforced dynamically.
+    guard: GuardConfig = GuardConfig()
 
     @property
     def code_cache_entries(self) -> int:
@@ -94,6 +103,14 @@ class LoopOutcome:
     translations_performed: int
     ii: Optional[int] = None
     stage_count: Optional[int] = None
+    #: Stable machine-readable tag of the translation failure (from the
+    #: :mod:`repro.errors` taxonomy); None when translation succeeded or
+    #: never ran.
+    failure_kind: Optional[str] = None
+    #: True when the differential guard verified this loop's execution.
+    guard_checked: bool = False
+    #: True when the guard observed a divergence and fell back to scalar.
+    deoptimized: bool = False
 
     @property
     def loop_speedup(self) -> float:
@@ -193,6 +210,7 @@ class VirtualMachine:
         outcome.translation_instructions = result.instructions
         if not result.ok:
             outcome.reason = result.failure
+            outcome.failure_kind = result.failure_kind
             return outcome
         image = result.image
         assert image is not None
@@ -203,7 +221,20 @@ class VirtualMachine:
         if self.config.functional:
             memory = _prepare_memory(image.loop, seed)
             live_ins = standard_live_ins(image.loop, memory, scalars)
-            run = self.accelerator.invoke(image, memory, live_ins)
+            if self.config.guard.checked:
+                deopt = self._guarded_invoke(loop, image, memory, live_ins,
+                                             outcome)
+                if deopt:
+                    return outcome
+            try:
+                run = self.accelerator.invoke(image, memory, live_ins)
+            except AcceleratorFault as exc:
+                # A structural invariant tripped mid-invocation; the
+                # atomic-invocation contract (Section 2.1) means no
+                # partial state escaped — deoptimize to scalar.
+                self._deoptimize(loop, outcome,
+                                 f"accelerator fault: {exc}")
+                return outcome
         else:
             run = self.accelerator.estimate(image)
         outcome.accel_cycles_per_invocation = run.total_cycles
@@ -214,6 +245,38 @@ class VirtualMachine:
         else:
             outcome.reason = "acceleration not profitable"
         return outcome
+
+    # -- guarded execution ---------------------------------------------------
+
+    def _deoptimize(self, loop: Loop, outcome: LoopOutcome,
+                    reason: str) -> None:
+        """Fall back to scalar: drop the translation, record why."""
+        self._translations.pop(loop.name, None)
+        self.code_cache.invalidate(loop.name)
+        outcome.accelerated = False
+        outcome.deoptimized = True
+        outcome.accel_cycles_per_invocation = None
+        outcome.reason = reason
+
+    def _guarded_invoke(self, loop: Loop, image, memory, live_ins,
+                        outcome: LoopOutcome) -> bool:
+        """Differentially verify *image*; True means deoptimized.
+
+        Runs accelerated and scalar executions on private clones and
+        compares live-outs and touched memory bit-for-bit; *memory*
+        itself is left untouched for the subsequent timed invocation.
+        """
+        if loop.annotations.get("while_loop"):
+            # The reference pipeline executor models fixed-trip loops
+            # only; speculative while-loops run unchecked.
+            return False
+        outcome.guard_checked = True
+        check = differential_check(image, memory, live_ins)
+        if check.verdict.ok:
+            return False
+        self._deoptimize(loop, outcome,
+                         f"deoptimized: {check.verdict.describe()}")
+        return True
 
     # -- code cache model ----------------------------------------------------------
 

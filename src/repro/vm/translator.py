@@ -15,6 +15,12 @@ The static/dynamic tradeoffs of Section 4.2 are expressed as
   computing Swing priority.
 * ``priority_kind="height"`` — the cheaper height-based function (the
   "Fully Dynamic Height Priority" configuration of Figure 10).
+
+Failures are *typed*: a failed :class:`TranslationResult` carries a
+:class:`~repro.errors.TranslationError` subclass in ``failure_reason``
+(the human-readable ``failure`` string derives from it), so the runtime
+can blacklist, report and recover mechanically instead of parsing
+strings.
 """
 
 from __future__ import annotations
@@ -28,6 +34,15 @@ from repro.analysis.dependence import refine_memory_edges
 from repro.analysis.partition import partition_loop
 from repro.analysis.schedulability import check_schedulability
 from repro.cca.mapper import apply_subgraphs, map_cca
+from repro.errors import (
+    RegisterPressureError,
+    ResourceClassError,
+    SchedulabilityError,
+    SchedulingError,
+    StreamLimitError,
+    TranslationBudgetExceeded,
+    TranslationError,
+)
 from repro.ir.dfg import build_dfg
 from repro.ir.loop import Loop
 from repro.ir.opcodes import LatencyModel
@@ -57,6 +72,13 @@ class TranslationOptions:
     use_static_mii: bool = False
     priority_kind: str = "swing"  # "swing" or "height"
     latency_model: LatencyModel = field(default_factory=LatencyModel)
+    #: Translation work budget, in meter work units; ``None`` is
+    #: unbounded.  A loop whose translation charges more than this
+    #: aborts cleanly with :class:`~repro.errors.TranslationBudgetExceeded`
+    #: as its failure reason and keeps running on the scalar core.
+    work_budget: Optional[int] = None
+    #: Optional wall-clock budget (seconds) for one translation.
+    deadline_s: Optional[float] = None
 
     @staticmethod
     def fully_dynamic() -> "TranslationOptions":
@@ -75,11 +97,15 @@ class TranslationOptions:
 
 @dataclass
 class TranslationResult:
-    """Outcome of translating one loop."""
+    """Outcome of translating one loop.
+
+    ``failure_reason`` is the typed failure (None on success);
+    ``failure`` remains the backward-compatible human-readable string.
+    """
 
     loop_name: str
     image: Optional[KernelImage]
-    failure: Optional[str]
+    failure_reason: Optional[TranslationError]
     meter: TranslationMeter
 
     @property
@@ -87,25 +113,28 @@ class TranslationResult:
         return self.image is not None
 
     @property
+    def failure(self) -> Optional[str]:
+        if self.failure_reason is None:
+            return None
+        return str(self.failure_reason)
+
+    @property
+    def failure_kind(self) -> Optional[str]:
+        """Stable machine-readable tag of the failure (None on success)."""
+        if self.failure_reason is None:
+            return None
+        return self.failure_reason.kind
+
+    @property
     def instructions(self) -> float:
         return self.meter.total_instructions()
 
 
-def translate_loop(loop: Loop, config: LAConfig,
-                   options: TranslationOptions = TranslationOptions()
-                   ) -> TranslationResult:
-    """Translate *loop* for *config*; never raises on unsupported loops.
-
-    Any failure (unschedulable shape, too many streams, MII above the
-    control store, register pressure) yields ``image=None`` with the
-    reason, and the loop simply keeps running on the baseline core —
-    exactly the fall-back the virtualised interface guarantees.
-    """
-    meter = TranslationMeter()
+def _translate_pipeline(loop: Loop, config: LAConfig,
+                        options: TranslationOptions,
+                        meter: TranslationMeter) -> TranslationResult:
+    """The translation pipeline proper; raises TranslationError to fail."""
     lat = options.latency_model
-
-    def fail(reason: str) -> TranslationResult:
-        return TranslationResult(loop.name, None, reason, meter)
 
     # Phase 1: identification / schedulability.
     dfg = build_dfg(loop, lat, work=meter.charger("identify"))
@@ -114,7 +143,9 @@ def translate_loop(loop: Loop, config: LAConfig,
         allow_speculation=config.supports_speculation)
     if not report.ok:
         reasons = "; ".join(report.reasons) or report.category.value
-        return fail(f"not modulo schedulable: {reasons}")
+        raise SchedulabilityError(
+            f"not modulo schedulable: {reasons}", loop_name=loop.name,
+            category=report.category.value, reasons=report.reasons)
     streams = report.streams
     assert streams is not None
 
@@ -125,11 +156,17 @@ def translate_loop(loop: Loop, config: LAConfig,
     dfg = refine_memory_edges(loop, dfg, streams)
     part = partition_loop(loop, dfg, work=meter.charger("partition"))
     if streams.num_load_streams > config.load_streams:
-        return fail(f"{streams.num_load_streams} load streams > "
-                    f"{config.load_streams} supported")
+        raise StreamLimitError(
+            f"{streams.num_load_streams} load streams > "
+            f"{config.load_streams} supported", loop_name=loop.name,
+            stream_kind="load", required=streams.num_load_streams,
+            available=config.load_streams)
     if streams.num_store_streams > config.store_streams:
-        return fail(f"{streams.num_store_streams} store streams > "
-                    f"{config.store_streams} supported")
+        raise StreamLimitError(
+            f"{streams.num_store_streams} store streams > "
+            f"{config.store_streams} supported", loop_name=loop.name,
+            stream_kind="store", required=streams.num_store_streams,
+            available=config.store_streams)
 
     # Phase 3: CCA mapping.
     mapped = loop
@@ -171,7 +208,13 @@ def translate_loop(loop: Loop, config: LAConfig,
         mii = MIIResult(res_mii=res_mii, rec_mii=rec_mii,
                         per_resource=per_resource)
     if not mii.feasible:
-        return fail("loop requires a resource class the accelerator lacks")
+        missing = sorted(rc for rc, v in mii.per_resource.items()
+                         if v >= 10 ** 9)
+        raise ResourceClassError(
+            "loop requires a resource class the accelerator lacks"
+            + (f" ({', '.join(missing)})" if missing else ""),
+            loop_name=loop.name,
+            resource=missing[0] if missing else None)
 
     # Phase 5: priority.
     priority: Optional[PriorityResult] = None
@@ -201,15 +244,21 @@ def translate_loop(loop: Loop, config: LAConfig,
         priority_work=meter.charger("priority"),
         mii_result=mii)
     if isinstance(result, ScheduleFailure):
-        return fail(result.reason)
+        raise SchedulingError(result.reason, loop_name=loop.name,
+                              schedule_failure=result)
     schedule = result
 
     # Phase 7: register assignment.
     registers = register_requirements(mapped, dfg2, schedule, part2,
                                       meter.charger("regalloc"))
     if not fits(registers, config.num_int_regs, config.num_fp_regs):
-        return fail(f"register demand (int {registers.int_regs}, fp "
-                    f"{registers.fp_regs}) exceeds the register files")
+        raise RegisterPressureError(
+            f"register demand (int {registers.int_regs}, fp "
+            f"{registers.fp_regs}) exceeds the register files",
+            loop_name=loop.name,
+            int_required=registers.int_regs, fp_required=registers.fp_regs,
+            int_available=config.num_int_regs,
+            fp_available=config.num_fp_regs)
 
     # Modulo variable expansion: place every cross-stage value's
     # copies into physical registers (part of the register-assignment
@@ -222,3 +271,25 @@ def translate_loop(loop: Loop, config: LAConfig,
                         registers=registers, config=config,
                         rotation=rotation)
     return TranslationResult(loop.name, image, None, meter)
+
+
+def translate_loop(loop: Loop, config: LAConfig,
+                   options: TranslationOptions = TranslationOptions()
+                   ) -> TranslationResult:
+    """Translate *loop* for *config*; never raises on unsupported loops.
+
+    Any failure (unschedulable shape, too many streams, MII above the
+    control store, register pressure, a blown translation budget) yields
+    ``image=None`` with a typed ``failure_reason``, and the loop simply
+    keeps running on the baseline core — exactly the fall-back the
+    virtualised interface guarantees.
+    """
+    meter = TranslationMeter(budget_units=options.work_budget,
+                             deadline_s=options.deadline_s)
+    try:
+        return _translate_pipeline(loop, config, options, meter)
+    except TranslationBudgetExceeded as exc:
+        exc.loop_name = loop.name
+        return TranslationResult(loop.name, None, exc, meter)
+    except TranslationError as exc:
+        return TranslationResult(loop.name, None, exc, meter)

@@ -1,0 +1,69 @@
+"""Property: the differential guard passes on every clean translation.
+
+For any loop the synthetic generator produces that translates on the
+proposed accelerator, checked-mode execution with no injected faults
+must (a) verify — identical live-outs and memory on the accelerator
+model vs. the scalar interpreter — and (b) commit exactly the scalar
+reference state, without any deoptimization.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.accelerator import PROPOSED_LA
+from repro.cpu import Interpreter, standard_live_ins
+from repro.vm import translate_loop
+from repro.vm.guard import GuardConfig, GuardedExecutor, differential_check
+from repro.workloads.generator import GeneratorSpec, generate_loop
+from repro.workloads.suite import DEFAULT_SCALARS
+from tests.conftest import seeded_memory
+
+SLOW = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+specs = st.builds(
+    GeneratorSpec,
+    n_ops=st.integers(4, 24),
+    n_load_streams=st.integers(1, 4),
+    n_store_streams=st.integers(1, 2),
+    n_recurrences=st.integers(0, 2),
+    recurrence_length=st.integers(1, 3),
+    fp_fraction=st.sampled_from([0.0, 0.5]),
+    use_predication=st.booleans(),
+    trip_count=st.sampled_from([8, 16, 33]),
+    seed=st.integers(0, 10 ** 6),
+)
+
+
+@SLOW
+@given(spec=specs, mem_seed=st.integers(0, 10 ** 6))
+def test_guard_verifies_every_clean_translation(spec, mem_seed):
+    loop = generate_loop(spec)
+    result = translate_loop(loop, PROPOSED_LA)
+    if not result.ok:  # untranslatable specs exercise nothing here
+        return
+    memory = seeded_memory(loop, seed=mem_seed)
+    live = standard_live_ins(loop, memory, DEFAULT_SCALARS)
+    outcome = differential_check(result.image, memory, live)
+    assert outcome.verdict.ok, outcome.verdict.describe()
+    assert outcome.verdict.mismatches == []
+
+
+@SLOW
+@given(spec=specs, mem_seed=st.integers(0, 10 ** 6))
+def test_guarded_executor_commits_scalar_semantics(spec, mem_seed):
+    loop = generate_loop(spec)
+    if not translate_loop(loop, PROPOSED_LA).ok:
+        return
+    executor = GuardedExecutor(PROPOSED_LA, GuardConfig.checked_mode())
+    memory = seeded_memory(loop, seed=mem_seed)
+    run = executor.run(loop, memory,
+                       standard_live_ins(loop, memory, DEFAULT_SCALARS))
+    assert run.source == "accelerator"
+    assert run.verdict is not None and run.verdict.ok
+    assert not run.detected
+
+    ref_mem = seeded_memory(loop, seed=mem_seed)
+    ref = Interpreter(ref_mem).run_loop(
+        loop, standard_live_ins(loop, ref_mem, DEFAULT_SCALARS))
+    assert memory.snapshot() == ref_mem.snapshot()
+    assert run.live_outs == ref.live_outs
