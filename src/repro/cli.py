@@ -9,6 +9,8 @@ inspects a kernel's translation without writing code:
     python -m repro translate adpcm_dec        # one loop, full detail
     python -m repro kernels                    # the workload library
     python -m repro faults -n 120 --seed 2008  # guarded-mode fault campaign
+    python -m repro fig3a --jobs 4             # parallel sweep evaluation
+    python -m repro bench --jobs 2             # time engine vs reference
 """
 
 from __future__ import annotations
@@ -266,11 +268,34 @@ def main(argv: Optional[list[str]] = None) -> int:
     faults.add_argument("--guard", choices=("checked", "off"),
                         default="checked",
                         help="guard mode under test (default checked)")
+    bench = sub.add_parser("bench",
+                           help="benchmark the experiment engine vs the "
+                                "reference serial path")
+    bench.add_argument("--jobs", "-j", type=int, default=None,
+                       help="worker processes for sweep fan-out "
+                            "(default: REPRO_JOBS or 1)")
+    bench.add_argument("--figures", default=None,
+                       help="comma-separated figure names "
+                            "(default: fig3a,fig3b,fig4a,fig4b)")
+    bench.add_argument("--output", "-o", default=None,
+                       help="JSON report path (default "
+                            "benchmarks/results/BENCH_experiments.json)")
+    bench.add_argument("--skip-reference", action="store_true",
+                       help="skip the slow engine-off reference pass")
+    bench.add_argument("--disk-cache", action="store_true",
+                       help="attach the on-disk translation cache layer")
     for name, (description, _fn) in FIGURES.items():
         fig = sub.add_parser(name, help=description)
         fig.add_argument("--output", "-o", default=None,
                          help="also write the table to this file")
+        fig.add_argument("--jobs", "-j", type=int, default=None,
+                         help="worker processes for sweep fan-out "
+                              "(default: REPRO_JOBS or 1)")
     args = parser.parse_args(argv)
+
+    if getattr(args, "jobs", None) is not None:
+        from repro import perf
+        perf.set_jobs(args.jobs)
 
     if args.command in (None, "list"):
         width = max(len(n) for n in FIGURES)
@@ -295,6 +320,23 @@ def main(argv: Optional[list[str]] = None) -> int:
         report = cmd_faults(args.injections, args.seed, args.guard)
         print(report)
         return 0 if "PASS" in report.rsplit("verdict:", 1)[-1] else 1
+    if args.command == "bench":
+        from repro.experiments.bench import (
+            DEFAULT_OUTPUT,
+            format_bench,
+            run_bench,
+            write_report,
+        )
+        figures = (args.figures.split(",") if args.figures else None)
+        report = run_bench(
+            figures=figures, jobs=args.jobs,
+            skip_reference=args.skip_reference,
+            disk_cache=args.disk_cache,
+            progress=lambda msg: print(f"... {msg}", file=sys.stderr))
+        path = write_report(report, args.output or DEFAULT_OUTPUT)
+        print(format_bench(report))
+        print(f"report written to {path}")
+        return 0 if report.all_identical else 1
     _description, fn = FIGURES[args.command]
     text = fn()
     print(text)

@@ -1,0 +1,317 @@
+"""Compiled loop bodies: the interpreter's per-op closure fast path.
+
+:meth:`repro.cpu.interpreter.Interpreter.execute_op` re-discovers each
+operation's semantics on every dynamic execution: a ~40-arm ``if/elif``
+chain over the opcode, operand wrappers rebuilt per op, predicate and
+destination checks in the loop.  For a hot loop every one of those
+decisions is invariant across iterations, so this module makes them
+exactly once per loop: :func:`compile_loop` lowers each operation into
+a closure with its opcode semantics, operand accessors, predicate
+check and destination write bound at compile time, and
+:func:`run_compiled` drives the closure table with the same iteration /
+dynamic-op accounting as the reference ``run_loop``.
+
+The reference interpreter remains the semantic ground truth: the
+compiled path must be bit-identical on registers, memory and trip
+counts (asserted by ``tests/test_compiled_equivalence.py`` and
+cross-checkable at runtime via ``repro.vm.guard``).  Disable globally
+with ``REPRO_ENGINE=0`` or per-interpreter with ``mode="reference"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cpu.interpreter import (
+    ExecResult,
+    TrapError,
+    _as_bits,
+    _shift_amount,
+    _trunc_div,
+    _trunc_rem,
+    wrap64,
+)
+from repro.cpu.memory import Memory, Value
+from repro.ir.loop import Loop
+from repro.ir.opcodes import Opcode
+from repro.ir.ops import Imm, Operand, Operation, Reg
+
+#: A compiled operation: mutates *regs* and *memory* in place.
+Step = Callable[[dict, Memory], None]
+#: Reads one operand out of the register file.
+Getter = Callable[[dict], Value]
+
+_COMPILED_ATTR = "_veal_compiled"
+
+
+def _getter(operand: Operand) -> Getter:
+    """Operand accessor with the binding decided at compile time."""
+    if isinstance(operand, Imm):
+        const = operand.value
+        return lambda regs: const
+    reg = operand
+
+    def read(regs, _r=reg):
+        try:
+            return regs[_r]
+        except KeyError:
+            raise KeyError(
+                f"register {_r} read before initialisation") from None
+    return read
+
+
+def _dest_writer(op: Operation,
+                 compute: Callable[[dict, Memory], Value]) -> Step:
+    """Bind the destination write (or the discard) at compile time."""
+    if op.dests:
+        dest = op.dests[0]
+
+        def step(regs, memory, _d=dest, _c=compute):
+            regs[_d] = _c(regs, memory)
+        return step
+
+    def effect_only(regs, memory, _c=compute):
+        _c(regs, memory)
+    return effect_only
+
+
+def _compile_value_op(op: Operation) -> Step:
+    """Compile one non-memory, non-control operation."""
+    oc = op.opcode
+    g = [_getter(s) for s in op.srcs]
+
+    if oc is Opcode.ADD:
+        a, b = g
+        fn = lambda r, m: wrap64(int(a(r)) + int(b(r)))
+    elif oc is Opcode.SUB:
+        a, b = g
+        fn = lambda r, m: wrap64(int(a(r)) - int(b(r)))
+    elif oc is Opcode.NEG:
+        a, = g
+        fn = lambda r, m: wrap64(-int(a(r)))
+    elif oc is Opcode.ABS:
+        a, = g
+        fn = lambda r, m: wrap64(abs(int(a(r))))
+    elif oc is Opcode.MIN:
+        a, b = g
+        fn = lambda r, m: min(int(a(r)), int(b(r)))
+    elif oc is Opcode.MAX:
+        a, b = g
+        fn = lambda r, m: max(int(a(r)), int(b(r)))
+    elif oc is Opcode.MUL:
+        a, b = g
+        fn = lambda r, m: wrap64(int(a(r)) * int(b(r)))
+    elif oc is Opcode.DIV:
+        a, b = g
+
+        def fn(r, m, _a=a, _b=b):
+            d = int(_b(r))
+            return 0 if d == 0 else wrap64(_trunc_div(int(_a(r)), d))
+    elif oc is Opcode.REM:
+        a, b = g
+
+        def fn(r, m, _a=a, _b=b):
+            d = int(_b(r))
+            return 0 if d == 0 else wrap64(_trunc_rem(int(_a(r)), d))
+    elif oc is Opcode.AND:
+        a, b = g
+        fn = lambda r, m: wrap64(_as_bits(int(a(r))) & _as_bits(int(b(r))))
+    elif oc is Opcode.OR:
+        a, b = g
+        fn = lambda r, m: wrap64(_as_bits(int(a(r))) | _as_bits(int(b(r))))
+    elif oc is Opcode.XOR:
+        a, b = g
+        fn = lambda r, m: wrap64(_as_bits(int(a(r))) ^ _as_bits(int(b(r))))
+    elif oc is Opcode.NOT:
+        a, = g
+        fn = lambda r, m: wrap64(~int(a(r)))
+    elif oc is Opcode.SHL:
+        a, b = g
+        fn = lambda r, m: wrap64(int(a(r)) << _shift_amount(int(b(r))))
+    elif oc is Opcode.SHR:
+        a, b = g
+        fn = lambda r, m: wrap64(int(a(r)) >> _shift_amount(int(b(r))))
+    elif oc is Opcode.SHRU:
+        a, b = g
+        fn = lambda r, m: wrap64(
+            _as_bits(int(a(r))) >> _shift_amount(int(b(r))))
+    elif oc is Opcode.CMPEQ:
+        a, b = g
+        fn = lambda r, m: int(a(r) == b(r))
+    elif oc is Opcode.CMPNE:
+        a, b = g
+        fn = lambda r, m: int(a(r) != b(r))
+    elif oc is Opcode.CMPLT:
+        a, b = g
+        fn = lambda r, m: int(a(r) < b(r))
+    elif oc is Opcode.CMPLE:
+        a, b = g
+        fn = lambda r, m: int(a(r) <= b(r))
+    elif oc is Opcode.CMPGT:
+        a, b = g
+        fn = lambda r, m: int(a(r) > b(r))
+    elif oc is Opcode.CMPGE:
+        a, b = g
+        fn = lambda r, m: int(a(r) >= b(r))
+    elif oc is Opcode.SELECT:
+        a, b, c = g
+        fn = lambda r, m: b(r) if a(r) else c(r)
+    elif oc in (Opcode.MOV, Opcode.LDI):
+        a, = g
+        fn = lambda r, m: a(r)
+    elif oc is Opcode.FADD:
+        a, b = g
+        fn = lambda r, m: float(a(r)) + float(b(r))
+    elif oc is Opcode.FSUB:
+        a, b = g
+        fn = lambda r, m: float(a(r)) - float(b(r))
+    elif oc is Opcode.FMUL:
+        a, b = g
+        fn = lambda r, m: float(a(r)) * float(b(r))
+    elif oc is Opcode.FDIV:
+        a, b = g
+
+        def fn(r, m, _a=a, _b=b):
+            d = float(_b(r))
+            return 0.0 if d == 0.0 else float(_a(r)) / d
+    elif oc is Opcode.FNEG:
+        a, = g
+        fn = lambda r, m: -float(a(r))
+    elif oc is Opcode.FABS:
+        a, = g
+        fn = lambda r, m: abs(float(a(r)))
+    elif oc is Opcode.FMIN:
+        a, b = g
+        fn = lambda r, m: min(float(a(r)), float(b(r)))
+    elif oc is Opcode.FMAX:
+        a, b = g
+        fn = lambda r, m: max(float(a(r)), float(b(r)))
+    elif oc is Opcode.FCMPLT:
+        a, b = g
+        fn = lambda r, m: int(float(a(r)) < float(b(r)))
+    elif oc is Opcode.FCMPLE:
+        a, b = g
+        fn = lambda r, m: int(float(a(r)) <= float(b(r)))
+    elif oc is Opcode.FCMPEQ:
+        a, b = g
+        fn = lambda r, m: int(float(a(r)) == float(b(r)))
+    elif oc is Opcode.ITOF:
+        a, = g
+        fn = lambda r, m: float(int(a(r)))
+    elif oc is Opcode.FTOI:
+        a, = g
+        fn = lambda r, m: wrap64(int(float(a(r))))
+    else:  # pragma: no cover - dispatch covers the full value ISA
+        raise NotImplementedError(oc)
+    return _dest_writer(op, fn)
+
+
+def _compile_op(op: Operation) -> Step:
+    """Compile one operation, predicate check included."""
+    oc = op.opcode
+    if oc in (Opcode.LOAD, Opcode.FLOAD):
+        a, b = (_getter(s) for s in op.srcs)
+        step = _dest_writer(
+            op, lambda r, m, _a=a, _b=b: m.read(int(_a(r)) + int(_b(r))))
+    elif oc in (Opcode.STORE, Opcode.FSTORE):
+        a, b, c = (_getter(s) for s in op.srcs)
+
+        def step(regs, memory, _a=a, _b=b, _c=c):
+            memory.write(int(_a(regs)) + int(_b(regs)), _c(regs))
+    elif oc in (Opcode.BR, Opcode.JUMP):
+        def step(regs, memory):
+            pass
+    elif oc in (Opcode.CALL, Opcode.BRL):
+        opid = op.opid
+
+        def step(regs, memory, _opid=opid):
+            raise TrapError(f"op{_opid}: calls cannot be interpreted "
+                            f"inside a loop body")
+    elif oc is Opcode.CCA_OP:
+        inner = [_compile_op(i) for i in op.inner]
+
+        def step(regs, memory, _inner=tuple(inner)):
+            for sub in _inner:
+                sub(regs, memory)
+    else:
+        step = _compile_value_op(op)
+
+    if op.predicate is not None:
+        pred, body = op.predicate, step
+
+        def step(regs, memory, _p=pred, _b=body):  # noqa: F811
+            if not regs.get(_p, 0):
+                return
+            _b(regs, memory)
+    return step
+
+
+@dataclass
+class CompiledLoop:
+    """One loop body lowered to a closure table.
+
+    ``steps`` covers the operations up to (and excluding) the loop-back
+    branch; ``branch_cond`` reads the branch condition, or is None when
+    the body has no conditional ``BR`` — the loop then runs exactly
+    once, matching the reference driver (an unconditional ``BR`` reads
+    as condition 0 there).  ``ops_per_iteration`` matches the reference
+    dynamic-op accounting: every op up to and including the branch.
+    """
+
+    loop_name: str
+    steps: tuple[Step, ...]
+    branch_cond: Optional[Getter]
+    ops_per_iteration: int
+
+
+def compile_loop(loop: Loop) -> CompiledLoop:
+    """Lower *loop* once; memoised on the loop instance.
+
+    Loops are immutable by convention (transforms create new objects
+    via ``rebuild``/``copy``), so instance-attached memoisation is
+    safe; the attribute is excluded from pickling (closures do not
+    cross process boundaries — workers recompile on first use).
+    """
+    cached = loop.__dict__.get(_COMPILED_ATTR)
+    if cached is not None:
+        return cached
+
+    steps: list[Step] = []
+    branch_cond: Optional[Getter] = None
+    ops = 0
+    for op in loop.body:
+        ops += 1
+        if op.opcode is Opcode.BR:
+            branch_cond = _getter(op.srcs[0]) if op.srcs else None
+            break
+        steps.append(_compile_op(op))
+    compiled = CompiledLoop(
+        loop_name=loop.name, steps=tuple(steps),
+        branch_cond=branch_cond, ops_per_iteration=ops)
+    loop.__dict__[_COMPILED_ATTR] = compiled
+    return compiled
+
+
+def run_compiled(loop: Loop, compiled: CompiledLoop, memory: Memory,
+                 regs: dict[Reg, Value],
+                 max_iterations: int = 1_000_000) -> ExecResult:
+    """Drive the closure table; mirrors the reference ``run_loop``."""
+    steps = compiled.steps
+    cond = compiled.branch_cond
+    iterations = 0
+    dynamic_ops = 0
+    while True:
+        iterations += 1
+        for step in steps:
+            step(regs, memory)
+        dynamic_ops += compiled.ops_per_iteration
+        taken = bool(cond(regs)) if cond is not None else False
+        if not taken:
+            break
+        if iterations >= max_iterations:
+            raise TrapError(f"loop {loop.name!r} exceeded "
+                            f"{max_iterations} iterations")
+    live_outs = {r: regs[r] for r in loop.live_outs if r in regs}
+    return ExecResult(iterations=iterations, regs=regs,
+                      live_outs=live_outs, dynamic_ops=dynamic_ops)

@@ -38,6 +38,21 @@ def _as_bits(value: int) -> int:
     return int(value) & _MASK
 
 
+def _trunc_div(n: int, d: int) -> int:
+    """Sign-correct truncating (round-toward-zero) integer division.
+
+    Exact at any magnitude — ``int(n / d)`` detours through a float and
+    silently corrupts quotients once operands exceed 2**53.
+    """
+    q = abs(n) // abs(d)
+    return -q if (n < 0) != (d < 0) else q
+
+
+def _trunc_rem(n: int, d: int) -> int:
+    """Remainder matching :func:`_trunc_div` (sign follows the dividend)."""
+    return n - _trunc_div(n, d) * d
+
+
 class TrapError(RuntimeError):
     """Raised for conditions the hardware would trap on (e.g. CALL)."""
 
@@ -62,10 +77,26 @@ class ExecResult:
 
 
 class Interpreter:
-    """Executes loops over a :class:`Memory`."""
+    """Executes loops over a :class:`Memory`.
 
-    def __init__(self, memory: Optional[Memory] = None) -> None:
+    ``mode`` selects the loop-driver implementation: ``"compiled"``
+    runs bodies through the per-op closure tables of
+    :mod:`repro.cpu.compiled` (bit-identical, much faster on hot
+    loops); ``"reference"`` forces the original op-by-op path, which
+    remains the semantic ground truth.  The default follows the global
+    performance-engine switch (:mod:`repro.perf`).  ``execute_op`` is
+    always the reference implementation regardless of mode.
+    """
+
+    def __init__(self, memory: Optional[Memory] = None,
+                 mode: Optional[str] = None) -> None:
         self.memory = memory if memory is not None else Memory()
+        if mode is None:
+            from repro import perf
+            mode = "compiled" if perf.engine_enabled() else "reference"
+        if mode not in ("compiled", "reference"):
+            raise ValueError(f"unknown interpreter mode {mode!r}")
+        self.mode = mode
 
     # -- operand evaluation ------------------------------------------------
 
@@ -104,11 +135,11 @@ class Interpreter:
             result = wrap64(int(v(0)) * int(v(1)))
         elif oc is Opcode.DIV:
             d = int(v(1))
-            result = 0 if d == 0 else wrap64(int(int(v(0)) / d))
+            result = 0 if d == 0 else wrap64(_trunc_div(int(v(0)), d))
         elif oc is Opcode.REM:
             d = int(v(1))
             n = int(v(0))
-            result = 0 if d == 0 else wrap64(n - int(n / d) * d)
+            result = 0 if d == 0 else wrap64(_trunc_rem(n, d))
         elif oc is Opcode.AND:
             result = wrap64(_as_bits(int(v(0))) & _as_bits(int(v(1))))
         elif oc is Opcode.OR:
@@ -201,6 +232,10 @@ class Interpreter:
                 (array bases, scalar inputs, the induction start value).
             max_iterations: Safety bound against non-terminating loops.
         """
+        if self.mode == "compiled":
+            from repro.cpu.compiled import compile_loop, run_compiled
+            return run_compiled(loop, compile_loop(loop), self.memory,
+                                dict(live_in_values), max_iterations)
         regs: dict[Reg, Value] = dict(live_in_values)
         iterations = 0
         dynamic_ops = 0

@@ -126,22 +126,54 @@ class InOrderPipeline:
                     cycle = t + 1 + cfg.taken_branch_penalty
         return branch_cycles
 
+    def _timing_key(self, loop: Loop, kind: str, extra) -> tuple:
+        """Content-addressed identity of one timing query.
+
+        The simulation is a pure function of (core config, latency
+        model, loop body), so every ``InOrderPipeline`` instance in the
+        process — one per :class:`~repro.vm.runtime.VirtualMachine`,
+        i.e. one per (sweep point x benchmark) — can share results.
+        """
+        from repro.perf.digest import cpu_key, loop_digest
+        return (cpu_key(self.config, self.latency_model),
+                loop_digest(loop), kind, extra)
+
     def steady_cycles_per_iteration(self, loop: Loop,
                                     warm: int = 4, measure: int = 8) -> float:
         """Steady-state cycles per loop iteration."""
+        from repro import perf
+        key = None
+        if perf.engine_enabled():
+            key = self._timing_key(loop, "steady", (warm, measure))
+            cached = perf.cycles_cache.get(key)
+            if cached is not None:
+                return cached
         branches = self._simulate(loop, warm + measure)
         if len(branches) < warm + measure:
             raise ValueError(f"loop {loop.name!r} has no loop-back branch")
         span = branches[warm + measure - 1] - branches[warm - 1]
-        return span / measure
+        result = span / measure
+        if key is not None:
+            perf.cycles_cache[key] = result
+        return result
 
     def loop_cycles(self, loop: Loop, trip_count: Optional[int] = None) -> float:
         """Total cycles to run *loop* for *trip_count* iterations."""
         trips = loop.trip_count if trip_count is None else trip_count
         if trips <= 0:
             return 0.0
+        from repro import perf
+        key = None
+        if perf.engine_enabled():
+            key = self._timing_key(loop, "loop", trips)
+            cached = perf.cycles_cache.get(key)
+            if cached is not None:
+                return cached
         per_iter = self.steady_cycles_per_iteration(loop)
         # First iteration pays cold scheduling; approximate with one
         # extra body latency via a 1-iteration simulation.
         first = self._simulate(loop, 1)[0] + 1
-        return first + per_iter * (trips - 1)
+        result = first + per_iter * (trips - 1)
+        if key is not None:
+            perf.cycles_cache[key] = result
+        return result

@@ -44,6 +44,16 @@ class ReproError(Exception):
     def __str__(self) -> str:
         return self.message
 
+    def __reduce__(self):
+        # Default exception pickling replays ``cls(*args)`` which drops
+        # every keyword attribute (loop_name, details, ...); carry the
+        # full instance dict so cached failures survive a disk
+        # round-trip intact.
+        return (self.__class__, (self.message,), self.__dict__)
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
 
 # -- translation-time failures ------------------------------------------------
 

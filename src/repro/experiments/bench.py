@@ -1,0 +1,233 @@
+"""Benchmark the experiment engine against the reference serial path.
+
+``python -m repro bench`` regenerates the selected figures three times:
+
+1. **reference** — performance engine off (reference interpreter, no
+   translation/cycles caching) and a single process: the pre-engine
+   serial path, timed honestly from cold caches;
+2. **engine (cold)** — engine on, caches cleared first, ``--jobs``
+   workers: what a fresh CLI invocation costs;
+3. **engine (warm)** — engine on with the caches left hot: what every
+   subsequent figure in the same process costs.
+
+The figure *text* must come out byte-identical across all three passes
+(the engine's contract is bit-identical results, only faster); the
+report records per-figure wall clock, the speedup, the equality
+verdict, cache statistics, and the aggregate speedup over the
+design-space sweep figures — written to
+``benchmarks/results/BENCH_experiments.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Optional
+
+from repro import perf
+
+#: The Figure 3/4 design-space sweeps — the acceptance target
+#: (>= 3x end-to-end vs. the reference serial path) aggregates these.
+SWEEP_FIGURES = ("fig3a", "fig3b", "fig4a", "fig4b")
+
+DEFAULT_OUTPUT = os.path.join("benchmarks", "results",
+                              "BENCH_experiments.json")
+
+
+@dataclass
+class FigureBench:
+    """Three timed regenerations of one figure."""
+
+    name: str
+    reference_s: Optional[float]
+    engine_s: float
+    warm_s: float
+    #: reference / engine-cold wall clock; None when --skip-reference.
+    speedup: Optional[float]
+    #: Figure text identical across every pass that ran.
+    identical: bool
+
+
+@dataclass
+class BenchReport:
+    figures: list[FigureBench]
+    #: Aggregate over the SWEEP_FIGURES subset that was benchmarked.
+    sweep_reference_s: Optional[float]
+    sweep_engine_s: Optional[float]
+    sweep_speedup: Optional[float]
+    jobs: int
+    disk_cache: bool
+    cache_stats: dict
+    machine: dict
+
+    @property
+    def all_identical(self) -> bool:
+        return all(f.identical for f in self.figures)
+
+
+def _figure_registry() -> dict[str, Callable[[], str]]:
+    from repro.cli import FIGURES
+    return {name: fn for name, (_desc, fn) in FIGURES.items()
+            if name != "all"}
+
+
+def _timed(fn: Callable[[], str]) -> tuple[float, str]:
+    started = time.perf_counter()
+    text = fn()
+    return time.perf_counter() - started, text
+
+
+def run_bench(figures: Optional[list[str]] = None,
+              jobs: Optional[int] = None,
+              skip_reference: bool = False,
+              disk_cache: bool = False,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> BenchReport:
+    """Benchmark *figures* (default: the Figure 3/4 sweeps)."""
+    registry = _figure_registry()
+    names = list(figures) if figures else list(SWEEP_FIGURES)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        raise KeyError(f"unknown figures: {', '.join(unknown)}; "
+                       f"available: {', '.join(sorted(registry))}")
+    if jobs is not None:
+        perf.set_jobs(jobs)
+    effective_jobs = perf.get_jobs()
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    # Each pass runs the whole figure list end to end; caches are
+    # cleared once at the start of a pass, not between figures.  Both
+    # pipelines amortise within their own pass the way a real
+    # ``python -m repro all`` invocation would (the pre-engine path,
+    # too, shared its baseline-runs cache across figures in-process),
+    # so per-figure speedups are an honest like-for-like comparison.
+    reference_times: dict[str, float] = {}
+    reference_texts: dict[str, str] = {}
+    if not skip_reference:
+        perf.clear_caches()
+        previous_jobs = perf.get_jobs()
+        perf.set_jobs(1)
+        try:
+            with perf.engine_disabled():
+                for name in names:
+                    note(f"{name}: reference (engine off, serial)")
+                    reference_times[name], reference_texts[name] = \
+                        _timed(registry[name])
+        finally:
+            perf.set_jobs(previous_jobs)
+
+    perf.clear_caches()
+    if disk_cache:
+        perf.enable_disk_cache()
+    engine_times: dict[str, float] = {}
+    engine_texts: dict[str, str] = {}
+    for name in names:
+        note(f"{name}: engine cold ({effective_jobs} jobs)")
+        engine_times[name], engine_texts[name] = _timed(registry[name])
+
+    results: list[FigureBench] = []
+    for name in names:
+        note(f"{name}: engine warm")
+        warm_s, warm_text = _timed(registry[name])
+        reference_s = reference_times.get(name)
+        engine_s = engine_times[name]
+        texts = [t for t in (reference_texts.get(name),
+                             engine_texts[name], warm_text)
+                 if t is not None]
+        identical = all(t == texts[0] for t in texts)
+        speedup = (reference_s / engine_s
+                   if reference_s is not None and engine_s > 0 else None)
+        results.append(FigureBench(
+            name=name, reference_s=reference_s, engine_s=engine_s,
+            warm_s=warm_s, speedup=speedup, identical=identical))
+
+    swept = [f for f in results if f.name in SWEEP_FIGURES]
+    sweep_ref = (sum(f.reference_s for f in swept)
+                 if swept and all(f.reference_s is not None for f in swept)
+                 else None)
+    sweep_eng = sum(f.engine_s for f in swept) if swept else None
+    sweep_speedup = (sweep_ref / sweep_eng
+                     if sweep_ref is not None and sweep_eng else None)
+    return BenchReport(
+        figures=results,
+        sweep_reference_s=sweep_ref,
+        sweep_engine_s=sweep_eng,
+        sweep_speedup=sweep_speedup,
+        jobs=effective_jobs,
+        disk_cache=disk_cache,
+        cache_stats=perf.cache_stats(),
+        machine={
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+    )
+
+
+def write_report(report: BenchReport,
+                 path: str = DEFAULT_OUTPUT) -> str:
+    """Serialise *report* as JSON; returns the path written."""
+    payload = {
+        "figures": [asdict(f) for f in report.figures],
+        "sweep": {
+            "figures": [f.name for f in report.figures
+                        if f.name in SWEEP_FIGURES],
+            "reference_s": report.sweep_reference_s,
+            "engine_s": report.sweep_engine_s,
+            "speedup": report.sweep_speedup,
+        },
+        "all_identical": report.all_identical,
+        "jobs": report.jobs,
+        "disk_cache": report.disk_cache,
+        "cache_stats": report.cache_stats,
+        "machine": report.machine,
+    }
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def format_bench(report: BenchReport) -> str:
+    from repro.experiments.common import format_table, fmt
+    rows = []
+    for f in report.figures:
+        rows.append((
+            f.name,
+            fmt(f.reference_s, 2) if f.reference_s is not None else "-",
+            fmt(f.engine_s, 2),
+            fmt(f.warm_s, 2),
+            f"{f.speedup:.2f}x" if f.speedup is not None else "-",
+            "yes" if f.identical else "NO",
+        ))
+    table = format_table(
+        ["figure", "reference [s]", "engine cold [s]", "engine warm [s]",
+         "speedup", "identical"],
+        rows, title="Experiment engine benchmark")
+    lines = [table]
+    if report.sweep_speedup is not None:
+        lines.append(
+            f"design-space sweeps ({', '.join(SWEEP_FIGURES)}): "
+            f"{report.sweep_reference_s:.2f}s reference -> "
+            f"{report.sweep_engine_s:.2f}s engine "
+            f"({report.sweep_speedup:.2f}x)")
+    t = report.cache_stats.get("translation", {})
+    lines.append(
+        f"translation cache: {t.get('hits', 0)} hits / "
+        f"{t.get('misses', 0)} misses "
+        f"(hit rate {t.get('hit_rate', 0.0):.1%}, "
+        f"{t.get('exact_fallbacks', 0)} exact-II fallbacks), "
+        f"{report.cache_stats.get('cycles_entries', 0)} cycle-timing "
+        f"entries, jobs={report.jobs}")
+    lines.append("figure text identical across passes: "
+                 + ("yes" if report.all_identical else "NO"))
+    return "\n".join(lines)

@@ -40,18 +40,52 @@ def annotate_benchmark(benchmark: Benchmark) -> Benchmark:
                    _arm11_loop_cycles=None)
 
 
+def suite_digest(benchmarks: Sequence[Benchmark]) -> str:
+    """Content digest of a benchmark list.
+
+    Two suite objects with identical contents (names, kernel loops,
+    scalars, seeds, acyclic fractions) digest identically no matter
+    when or where they were constructed — the key under which
+    baseline/infinite runs are shared across sweep series and worker
+    processes (unlike an ``id()``-based key, which a garbage collector
+    can reuse for a different list).
+    """
+    from repro.perf.digest import digest_of, loop_digest
+    parts = []
+    for b in benchmarks:
+        parts.append((
+            b.name, b.suite,
+            tuple(loop_digest(k) for k in b.kernels),
+            b.acyclic_fraction, b.scalars, b.data_seed,
+            tuple(loop_digest(k) for k in (b.untransformed_kernels or ())),
+        ))
+    return digest_of("suite", parts)
+
+
+def _run_one_benchmark(payload) -> AppRun:
+    """Top-level (picklable) worker: one benchmark under one config."""
+    config, bench, annotate = payload
+    if annotate:
+        bench = annotate_benchmark(bench)
+    vm = VirtualMachine(config)
+    return vm.run_benchmark(bench)
+
+
 def run_suite(config: VMConfig,
               benchmarks: Optional[list[Benchmark]] = None,
-              annotate: bool = False) -> dict[str, AppRun]:
-    """Run every benchmark under *config*; returns runs by name."""
+              annotate: bool = False,
+              jobs: Optional[int] = None) -> dict[str, AppRun]:
+    """Run every benchmark under *config*; returns runs by name.
+
+    ``jobs`` > 1 fans the benchmarks over worker processes (default:
+    the global ``--jobs`` setting); results merge in benchmark order
+    either way, so the returned mapping is identical to a serial run.
+    """
+    from repro.perf.parallel import parallel_map
     benches = media_fp_benchmarks() if benchmarks is None else benchmarks
-    runs: dict[str, AppRun] = {}
-    for bench in benches:
-        if annotate:
-            bench = annotate_benchmark(bench)
-        vm = VirtualMachine(config)
-        runs[bench.name] = vm.run_benchmark(bench)
-    return runs
+    payloads = [(config, bench, annotate) for bench in benches]
+    runs = parallel_map(_run_one_benchmark, payloads, jobs=jobs)
+    return {bench.name: run for bench, run in zip(benches, runs)}
 
 
 def baseline_runs(benchmarks: Optional[list[Benchmark]] = None

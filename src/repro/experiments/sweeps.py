@@ -43,19 +43,30 @@ def _config_vm(config: LAConfig) -> VMConfig:
                     functional=False)
 
 
-def fraction_of_infinite(config: LAConfig,
-                         benchmarks: Optional[list[Benchmark]] = None,
-                         _cache: dict = {}) -> float:
-    """Mean fraction of infinite-resource speedup under *config*."""
-    benches = media_fp_benchmarks() if benchmarks is None else benchmarks
-    key = "__base__" if benchmarks is None else id(benchmarks)
-    if ("base", key) not in _cache:
-        _cache[("base", key)] = baseline_runs(benches)
-        _cache[("inf", key)] = speedups(
-            _cache[("base", key)],
-            run_suite(_config_vm(INFINITE_LA), benchmarks=benches))
-    base = _cache[("base", key)]
-    infinite = _cache[("inf", key)]
+def _baseline_and_infinite(benches: list[Benchmark]) -> tuple[dict, dict]:
+    """Baseline runs + infinite-resource speedups for *benches*.
+
+    Memoised process-wide under the suite's content digest
+    (:func:`~repro.experiments.common.suite_digest`) — every sweep
+    series normalising against the same suite shares one computation,
+    and the key cannot alias the way an ``id()``-based one could.
+    """
+    from repro import perf
+    from repro.experiments.common import suite_digest
+    key = suite_digest(benches)
+    cached = perf.baseline_cache.get(key)
+    if cached is None:
+        base = baseline_runs(benches)
+        infinite = speedups(
+            base, run_suite(_config_vm(INFINITE_LA), benchmarks=benches))
+        cached = (base, infinite)
+        perf.baseline_cache[key] = cached
+    return cached
+
+
+def _sweep_point(payload) -> float:
+    """Top-level (picklable) worker: one design point's mean fraction."""
+    config, benches, base, infinite = payload
     point = speedups(base, run_suite(_config_vm(config), benchmarks=benches))
     fractions = []
     for name in point:
@@ -65,12 +76,31 @@ def fraction_of_infinite(config: LAConfig,
     return arithmetic_mean(fractions)
 
 
+def fraction_of_infinite(config: LAConfig,
+                         benchmarks: Optional[list[Benchmark]] = None
+                         ) -> float:
+    """Mean fraction of infinite-resource speedup under *config*."""
+    benches = media_fp_benchmarks() if benchmarks is None else benchmarks
+    base, infinite = _baseline_and_infinite(benches)
+    return _sweep_point((config, benches, base, infinite))
+
+
 def sweep(label: str, xs: list[int],
           make_config: Callable[[int], LAConfig],
-          benchmarks: Optional[list[Benchmark]] = None) -> SweepSeries:
-    """Evaluate ``make_config(x)`` for every x."""
-    fractions = [fraction_of_infinite(make_config(x), benchmarks)
-                 for x in xs]
+          benchmarks: Optional[list[Benchmark]] = None,
+          jobs: Optional[int] = None) -> SweepSeries:
+    """Evaluate ``make_config(x)`` for every x.
+
+    The configs are materialised up front (``make_config`` may be a
+    lambda, which cannot cross a process boundary) and the points fan
+    out over :func:`~repro.perf.parallel.parallel_map`; fractions come
+    back in x order, so the series is identical at any job count.
+    """
+    from repro.perf.parallel import parallel_map
+    benches = media_fp_benchmarks() if benchmarks is None else benchmarks
+    base, infinite = _baseline_and_infinite(benches)
+    payloads = [(make_config(x), benches, base, infinite) for x in xs]
+    fractions = parallel_map(_sweep_point, payloads, jobs=jobs)
     return SweepSeries(label=label, xs=xs, fractions=fractions)
 
 

@@ -81,6 +81,15 @@ class Loop:
         if len(self._by_id) != len(self.body):
             raise ValueError(f"duplicate opids in loop {self.name!r}")
 
+    def __getstate__(self) -> dict:
+        """Drop runtime caches (``_veal_*``: compiled closure tables,
+        content digests) when pickling — workers rebuild them lazily."""
+        return {k: v for k, v in self.__dict__.items()
+                if not k.startswith("_veal_")}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     # -- lookups ----------------------------------------------------------
 
     def op(self, opid: int) -> Operation:

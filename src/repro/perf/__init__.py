@@ -1,0 +1,150 @@
+"""The performance engine: switches, shared caches, parallelism.
+
+Three layers make the experiment pipeline fast without changing any
+result bit (see DESIGN.md, "Performance engineering"):
+
+1. a compiled interpreter fast path (:mod:`repro.cpu.compiled`),
+2. content-addressed memoisation of translation products and scalar
+   timing (:mod:`repro.perf.transcache`, :mod:`repro.perf.digest`),
+3. process-parallel experiment fan-out (:mod:`repro.perf.parallel`).
+
+This module owns the global switches those layers consult: whether the
+engine is on at all (``REPRO_ENGINE=0`` or :func:`engine_disabled`
+reverts every hot path to the reference implementation), how many
+worker processes sweeps may use (``--jobs`` / ``REPRO_JOBS``), and the
+process-wide cache instances with their aggregate statistics.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_engine_enabled = os.environ.get("REPRO_ENGINE", "1") not in ("0", "false")
+_jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+
+#: Set in worker processes so nested parallel_map calls stay serial.
+IN_WORKER_ENV = "REPRO_IN_WORKER"
+
+
+def engine_enabled() -> bool:
+    """Whether the compiled/cached fast paths are active."""
+    return _engine_enabled
+
+
+def set_engine_enabled(value: bool) -> None:
+    global _engine_enabled
+    _engine_enabled = bool(value)
+
+
+@contextmanager
+def engine_disabled() -> Iterator[None]:
+    """Run a block on the pre-engine reference paths (used by
+    ``python -m repro bench`` to time the serial baseline honestly)."""
+    global _engine_enabled
+    previous = _engine_enabled
+    _engine_enabled = False
+    try:
+        yield
+    finally:
+        _engine_enabled = previous
+
+
+def get_jobs() -> int:
+    """Worker processes experiment fan-out may use (1 = serial)."""
+    if os.environ.get(IN_WORKER_ENV):
+        return 1
+    return max(1, _jobs)
+
+
+def set_jobs(jobs: Optional[int]) -> None:
+    global _jobs
+    if jobs is not None:
+        _jobs = max(1, int(jobs))
+
+
+# -- process-wide caches ------------------------------------------------------
+
+_translation_cache = None
+#: (cpu digest, loop digest, kind, extra) -> float cycle counts from the
+#: in-order pipeline model; keyed by content so every VirtualMachine
+#: instance in the process (and every sweep point) shares one simulation.
+cycles_cache: dict[tuple, float] = {}
+#: suite digest -> (baseline runs, infinite-speedup map) for the
+#: design-space sweeps' fraction-of-infinite normalisation.
+baseline_cache: dict[str, tuple] = {}
+#: Config-independent translation front-end products (DFG +
+#: schedulability + partition, and CCA mapping results) keyed by loop
+#: content — shared across every sweep point that translates the same
+#: loop, with the meter charges replayed exactly.  Only consulted when
+#: no translation budget/deadline is active (bulk charge replay would
+#: move a mid-phase budget abort).
+analysis_cache: dict[tuple, tuple] = {}
+
+
+def translation_cache():
+    """The process-wide content-addressed translation cache."""
+    global _translation_cache
+    if _translation_cache is None:
+        from repro.perf.transcache import TranslationCache
+        _translation_cache = TranslationCache()
+    return _translation_cache
+
+
+def enable_disk_cache(path: Optional[str] = None) -> str:
+    """Attach the on-disk layer (default ``benchmarks/results/.cache``)."""
+    cache = translation_cache()
+    return cache.attach_disk(path)
+
+
+def clear_caches() -> None:
+    """Drop every memoised product (used between bench passes)."""
+    translation_cache().clear()
+    cycles_cache.clear()
+    baseline_cache.clear()
+    analysis_cache.clear()
+
+
+#: The translation-cache counters that worker processes report back to
+#: the parent (see :func:`repro.perf.parallel.parallel_map`): cache
+#: *entries* stay worker-local, but the aggregate hit/miss accounting
+#: must describe the whole run, whatever the job count.
+COUNTER_FIELDS = ("hits", "misses", "disk_hits", "stores",
+                  "exact_fallbacks")
+
+
+def counter_snapshot() -> dict:
+    """Current values of the mergeable translation-cache counters."""
+    stats = translation_cache().stats
+    return {name: getattr(stats, name) for name in COUNTER_FIELDS}
+
+
+def counter_delta(before: dict) -> dict:
+    """Counter increments since *before* (a :func:`counter_snapshot`)."""
+    now = counter_snapshot()
+    return {name: now[name] - before.get(name, 0)
+            for name in COUNTER_FIELDS}
+
+
+def merge_counters(delta: dict) -> None:
+    """Fold a worker's counter increments into this process's stats."""
+    stats = translation_cache().stats
+    for name in COUNTER_FIELDS:
+        setattr(stats, name, getattr(stats, name) + delta.get(name, 0))
+
+
+def cache_stats() -> dict:
+    """Aggregate statistics for ``BENCH_experiments.json``."""
+    t = translation_cache().stats
+    return {
+        "translation": {
+            "hits": t.hits, "misses": t.misses,
+            "disk_hits": t.disk_hits, "stores": t.stores,
+            "exact_fallbacks": t.exact_fallbacks,
+            "hit_rate": t.hit_rate,
+        },
+        "cycles_entries": len(cycles_cache),
+        "baseline_entries": len(baseline_cache),
+        "analysis_entries": len(analysis_cache),
+    }

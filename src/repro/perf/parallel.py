@@ -1,0 +1,70 @@
+"""Process-parallel experiment fan-out with deterministic merge order.
+
+``parallel_map(fn, items)`` is the single primitive every sweep and
+suite runner uses: with ``--jobs 1`` (the default) it is a plain list
+comprehension, bit-identical to the pre-engine serial path; with more
+jobs it fans the items over a :class:`ProcessPoolExecutor` and returns
+results **in item order** (``Executor.map`` semantics), so merged output
+is byte-identical regardless of worker count or completion order.
+
+Workers inherit the parent's in-memory caches on fork-capable
+platforms, mark themselves via ``REPRO_IN_WORKER`` so nested
+``parallel_map`` calls inside a worker run serially instead of
+oversubscribing the machine, and report their translation-cache
+counter increments back with each result so the parent's aggregate
+statistics describe the whole run at any job count.  Any pool-level failure (unpicklable
+payloads, missing semaphores in restricted sandboxes) degrades to the
+serial path rather than failing the experiment.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Optional, Sequence, TypeVar
+
+from repro import perf
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _worker_init() -> None:
+    os.environ[perf.IN_WORKER_ENV] = "1"
+
+
+def _instrumented(payload):
+    """Run one item in a worker, piggybacking the translation-cache
+    counter increments so the parent can merge them: cache *entries*
+    stay worker-local, but hit/miss accounting must cover the run."""
+    fn, item = payload
+    before = perf.counter_snapshot()
+    result = fn(item)
+    return result, perf.counter_delta(before)
+
+
+def parallel_map(fn: Callable[[T], R], items: Sequence[T],
+                 jobs: Optional[int] = None) -> list[R]:
+    """Apply *fn* to every item, preserving item order in the result.
+
+    ``jobs=None`` consults the global ``--jobs`` setting.  Exceptions
+    raised by *fn* propagate to the caller in both modes.
+    """
+    items = list(items)
+    jobs = perf.get_jobs() if jobs is None else max(1, jobs)
+    jobs = min(jobs, len(items)) if items else 1
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=jobs,
+                                 initializer=_worker_init) as pool:
+            pairs = list(pool.map(_instrumented,
+                                  [(fn, item) for item in items],
+                                  chunksize=1))
+    except (OSError, ValueError, AttributeError, ImportError,
+            pickle.PicklingError):
+        return [fn(item) for item in items]
+    for _result, delta in pairs:
+        perf.merge_counters(delta)
+    return [result for result, _delta in pairs]

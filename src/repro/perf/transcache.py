@@ -1,0 +1,204 @@
+"""Content-addressed cache of translation products.
+
+Keys are digests of (loop DFG structure, the *schedule-relevant
+projection* of the :class:`~repro.accelerator.config.LAConfig`, and the
+:class:`~repro.vm.translator.TranslationOptions`); values are
+:class:`CoreEntry` records holding everything the translation pipeline
+produced *before* the register-capacity check (see
+``repro.vm.translator`` for why capacities are factored out of the key:
+register files only gate the final ``fits`` comparison, so one cached
+schedule serves every point of a register sweep).
+
+Two layers:
+
+* in-memory dict — shared by every ``VirtualMachine`` in the process
+  (and, via fork, by parallel sweep workers);
+* optional on-disk pickle files under ``benchmarks/results/.cache/`` —
+  shared across processes and CLI invocations.  Disk I/O failures are
+  never fatal; the cache silently degrades to memory-only.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Optional
+
+DEFAULT_DISK_DIR = os.path.join("benchmarks", "results", ".cache")
+
+
+@dataclass
+class MeterSnapshot:
+    """Immutable copy of a TranslationMeter's charge state."""
+
+    units: dict[str, int]
+    total: int
+
+    @staticmethod
+    def of(meter) -> "MeterSnapshot":
+        return MeterSnapshot(units=dict(meter.units),
+                             total=meter.total_units())
+
+    def restore(self):
+        """A fresh TranslationMeter carrying these charges."""
+        from repro.vm.costmodel import TranslationMeter
+        meter = TranslationMeter()
+        meter.units = dict(self.units)
+        meter._total = self.total
+        return meter
+
+
+@dataclass
+class CoreEntry:
+    """One cached capacity-independent translation outcome.
+
+    Exactly one of (``image``, ``failure``) is set... with one
+    exception: a translation-budget failure *after* register
+    requirements were computed keeps ``requirements`` populated so the
+    finalisation step can reproduce the reference pipeline's
+    check order (capacity check before the rotation charge).
+    """
+
+    loop_name: str
+    #: Register demand, present when the pipeline reached regalloc.
+    requirements: Optional[object] = None
+    #: Meter state just after requirements (before rotation charges) —
+    #: what a capacity failure reports.
+    meter_at_requirements: Optional[MeterSnapshot] = None
+    #: Successful kernel image (its ``config`` is rebound per caller).
+    image: Optional[object] = None
+    #: Typed terminal failure raised before/independent of capacities.
+    failure: Optional[Exception] = None
+    #: True when the failure came from the modulo scheduler exhausting
+    #: the (possibly clamped) II search — the one outcome that must be
+    #: re-derived exactly when the true max II is larger than the clamp.
+    ii_exhausted: bool = False
+    meter_final: MeterSnapshot = field(
+        default_factory=lambda: MeterSnapshot({}, 0))
+
+
+@dataclass
+class TransCacheStats:
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    stores: int = 0
+    invalidations: int = 0
+    #: Times a clamped-key failure forced an exact-key retranslation.
+    exact_fallbacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        accesses = self.hits + self.misses
+        return self.hits / accesses if accesses else 0.0
+
+
+class TranslationCache:
+    """Memory + optional-disk store of :class:`CoreEntry` by digest."""
+
+    def __init__(self, disk_dir: Optional[str] = None) -> None:
+        self._entries: dict[str, CoreEntry] = {}
+        self.disk_dir: Optional[str] = None
+        self.stats = TransCacheStats()
+        if disk_dir is not None:
+            self.attach_disk(disk_dir)
+
+    # -- disk layer --------------------------------------------------------
+
+    def attach_disk(self, path: Optional[str] = None) -> str:
+        self.disk_dir = path or DEFAULT_DISK_DIR
+        try:
+            os.makedirs(self.disk_dir, exist_ok=True)
+        except OSError:
+            self.disk_dir = None
+        return self.disk_dir or ""
+
+    def detach_disk(self) -> None:
+        self.disk_dir = None
+
+    def _disk_path(self, key: str) -> str:
+        assert self.disk_dir is not None
+        return os.path.join(self.disk_dir, f"{key}.pkl")
+
+    def _disk_load(self, key: str) -> Optional[CoreEntry]:
+        if self.disk_dir is None:
+            return None
+        try:
+            with open(self._disk_path(key), "rb") as handle:
+                entry = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        return entry if isinstance(entry, CoreEntry) else None
+
+    def _disk_store(self, key: str, entry: CoreEntry) -> None:
+        if self.disk_dir is None:
+            return
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._disk_path(key))  # atomic vs readers
+        except (OSError, pickle.PickleError, TypeError):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- lookup/insert -----------------------------------------------------
+
+    def get(self, key: str) -> Optional[CoreEntry]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            return entry
+        entry = self._disk_load(key)
+        if entry is not None:
+            self._entries[key] = entry
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def peek(self, key: str) -> Optional[CoreEntry]:
+        """Lookup that leaves the hit/miss statistics untouched.
+
+        Used for secondary probes (the max-II canonical alias), where
+        the primary key already recorded the access; disk entries are
+        still promoted into memory.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._disk_load(key)
+            if entry is not None:
+                self._entries[key] = entry
+        return entry
+
+    def put(self, key: str, entry: CoreEntry) -> None:
+        self._entries[key] = entry
+        self.stats.stores += 1
+        self._disk_store(key, entry)
+
+    def invalidate(self, key: str) -> bool:
+        """Deoptimisation support: drop one translation everywhere."""
+        found = self._entries.pop(key, None) is not None
+        if self.disk_dir is not None:
+            try:
+                os.unlink(self._disk_path(key))
+                found = True
+            except OSError:
+                pass
+        if found:
+            self.stats.invalidations += 1
+        return found
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk files are left in place)."""
+        self._entries.clear()
+        self.stats = TransCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)

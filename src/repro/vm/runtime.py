@@ -29,6 +29,7 @@ from repro.vm.guard import GuardConfig, differential_check
 from repro.vm.translator import (
     TranslationOptions,
     TranslationResult,
+    invalidate_translation,
     translate_loop,
 )
 
@@ -253,6 +254,11 @@ class VirtualMachine:
         """Fall back to scalar: drop the translation, record why."""
         self._translations.pop(loop.name, None)
         self.code_cache.invalidate(loop.name)
+        if self.config.accelerator is not None:
+            # A translation observed to misbehave must not be re-served
+            # from the shared content-addressed cache (or its disk layer).
+            invalidate_translation(loop, self.config.accelerator,
+                                   self.config.options)
         outcome.accelerated = False
         outcome.deoptimized = True
         outcome.accel_cycles_per_invocation = None
@@ -271,7 +277,9 @@ class VirtualMachine:
             # only; speculative while-loops run unchecked.
             return False
         outcome.guard_checked = True
-        check = differential_check(image, memory, live_ins)
+        check = differential_check(
+            image, memory, live_ins,
+            cross_check_interpreter=self.config.guard.cross_check_interpreter)
         if check.verdict.ok:
             return False
         self._deoptimize(loop, outcome,

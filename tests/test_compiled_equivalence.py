@@ -1,0 +1,115 @@
+"""Property: the compiled interpreter is the reference interpreter.
+
+The performance engine's first layer replaces the ~40-way opcode
+dispatch with per-op closures (:mod:`repro.cpu.compiled`).  Its
+contract is bit-identical observable state: registers, memory words,
+iteration and dynamic-op counts, and trap behaviour must match the
+reference loop driver on any input — generated loops, the whole
+workload suite, and the >2**53 division magnitudes that a float detour
+would silently corrupt.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cpu import Interpreter, standard_live_ins
+from repro.cpu.interpreter import TrapError
+from repro.ir.loop import Loop
+from repro.ir.opcodes import Opcode
+from repro.ir.ops import Imm, Operation, Reg
+from repro.workloads.generator import GeneratorSpec, generate_loop
+from repro.workloads.suite import DEFAULT_SCALARS, media_fp_benchmarks
+from tests.conftest import seeded_memory
+
+SLOW = settings(max_examples=40, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+specs = st.builds(
+    GeneratorSpec,
+    n_ops=st.integers(4, 24),
+    n_load_streams=st.integers(1, 4),
+    n_store_streams=st.integers(1, 2),
+    n_recurrences=st.integers(0, 2),
+    recurrence_length=st.integers(1, 3),
+    fp_fraction=st.sampled_from([0.0, 0.5]),
+    use_predication=st.booleans(),
+    trip_count=st.sampled_from([4, 9, 17]),
+    seed=st.integers(0, 10 ** 6),
+)
+
+
+def _observe(loop: Loop, mode: str, mem_seed: int):
+    """(trap, iterations, dynamic_ops, regs, memory words) under *mode*."""
+    memory = seeded_memory(loop, seed=mem_seed)
+    interp = Interpreter(memory, mode=mode)
+    live = standard_live_ins(loop, memory, DEFAULT_SCALARS)
+    try:
+        result = interp.run_loop(loop, live)
+    except TrapError as exc:
+        return ("trap", str(exc), memory.snapshot())
+    return (result.iterations, result.dynamic_ops, dict(result.regs),
+            memory.snapshot())
+
+
+@SLOW
+@given(spec=specs, mem_seed=st.integers(0, 10 ** 6))
+def test_compiled_matches_reference_on_generated_loops(spec, mem_seed):
+    loop = generate_loop(spec)
+    assert _observe(loop, "reference", mem_seed) == \
+        _observe(loop, "compiled", mem_seed)
+
+
+def test_compiled_matches_reference_on_whole_suite():
+    """Every suite kernel — including the two that trap on CALL —
+    behaves identically under both loop drivers."""
+    for bench in media_fp_benchmarks():
+        for loop in bench.kernels:
+            assert _observe(loop, "reference", 7) == \
+                _observe(loop, "compiled", 7), loop.name
+
+
+def _binop_loop(opcode: Opcode, a: int, b: int) -> Loop:
+    out = Reg("r_out")
+    ops = [
+        Operation(opid=0, opcode=opcode, dests=[out],
+                  srcs=[Imm(a), Imm(b)]),
+        Operation(opid=1, opcode=Opcode.BR, dests=[], srcs=[Imm(0)]),
+    ]
+    return Loop(name=f"tiny_{opcode.name.lower()}", body=ops,
+                live_ins=[], live_outs=[out], arrays=[], trip_count=1)
+
+
+def _run_binop(opcode: Opcode, a: int, b: int, mode: str) -> int:
+    loop = _binop_loop(opcode, a, b)
+    result = Interpreter(mode=mode).run_loop(loop, {})
+    return result.live_outs[Reg("r_out")]
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(-(2 ** 62), 2 ** 62),
+       d=st.integers(-(2 ** 62), 2 ** 62).filter(lambda v: v != 0),
+       mode=st.sampled_from(["reference", "compiled"]))
+def test_div_rem_exact_beyond_double_precision(n, d, mode):
+    """Regression: DIV/REM round toward zero exactly at any magnitude.
+
+    ``int(n / d)`` detours through a float and corrupts quotients once
+    the operands exceed 2**53; both interpreter paths must use integer
+    arithmetic (and agree with each other).
+    """
+    q = _run_binop(Opcode.DIV, n, d, mode)
+    r = _run_binop(Opcode.REM, n, d, mode)
+    expected_q = abs(n) // abs(d)
+    if (n < 0) != (d < 0):
+        expected_q = -expected_q
+    assert q == expected_q
+    assert r == n - expected_q * d
+    # The specific magnitude class the float path gets wrong:
+    assert _run_binop(Opcode.DIV, 2 ** 60 + 3, 3, mode) == \
+        (2 ** 60 + 3) // 3
+
+
+def test_div_rem_by_zero_is_defined_and_identical():
+    for mode in ("reference", "compiled"):
+        assert _run_binop(Opcode.DIV, 2 ** 60, 0, mode) == 0
+        assert _run_binop(Opcode.REM, -5, 0, mode) == 0

@@ -1,0 +1,200 @@
+"""The content-addressed translation cache: keys, sharing, exactness.
+
+Covers the tentpole's second layer (see DESIGN.md, "Performance
+engineering"): stable content digests, the capacity-factored key that
+lets one core run serve a whole register sweep, the max-II canonical
+aliasing, the exact-max-II fallback for clamped scheduling failures,
+deoptimisation invalidation, and the on-disk layer (including typed
+failures surviving a pickle round-trip with their attributes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import perf
+from repro.accelerator.config import INFINITE_LA, PROPOSED_LA
+from repro.errors import SchedulingError
+from repro.perf.digest import loop_digest
+from repro.perf.transcache import CoreEntry, MeterSnapshot
+from repro.vm.translator import (
+    TranslationOptions,
+    _schedule_projection,
+    invalidate_translation,
+    translate_loop,
+    translation_key,
+)
+from repro.workloads.generator import GeneratorSpec, generate_loop
+from repro.workloads.suite import media_fp_benchmarks
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    perf.clear_caches()
+    perf.translation_cache().detach_disk()
+    yield
+    perf.clear_caches()
+    perf.translation_cache().detach_disk()
+
+
+def _spec_loop(seed=11, **kw):
+    return generate_loop(GeneratorSpec(n_ops=12, n_load_streams=2,
+                                       n_store_streams=1, seed=seed, **kw))
+
+
+def _suite_loop(name=None):
+    for bench in media_fp_benchmarks():
+        for loop in bench.kernels:
+            if name is None or loop.name == name:
+                return loop
+
+
+def test_loop_digest_is_content_addressed():
+    """Two independently built, structurally identical loops digest
+    identically; any structural change digests differently."""
+    assert loop_digest(_spec_loop()) == loop_digest(_spec_loop())
+    assert loop_digest(_spec_loop()) != loop_digest(_spec_loop(seed=12))
+    changed = _spec_loop()
+    changed.trip_count += 1
+    assert loop_digest(changed) != loop_digest(_spec_loop())
+
+
+def test_identical_translations_share_one_core_run():
+    loop = _suite_loop()
+    stats = perf.translation_cache().stats
+    first = translate_loop(loop, PROPOSED_LA)
+    assert stats.misses == 1
+    second = translate_loop(loop, PROPOSED_LA)
+    assert stats.misses == 1 and stats.hits >= 1
+    assert first.ok == second.ok
+    assert first.meter.units == second.meter.units
+
+
+def test_register_capacities_are_factored_out_of_the_key():
+    """A whole register sweep shares one cached schedule: capacities
+    only gate the final fits() check, re-applied per caller."""
+    loop = _suite_loop()
+    keys = {translation_key(loop, INFINITE_LA.with_(num_int_regs=k,
+                                                    num_fp_regs=k))
+            for k in (1, 2, 8, 32, 1 << 20)}
+    assert len(keys) == 1
+    stats = perf.translation_cache().stats
+    outcomes = [translate_loop(loop, INFINITE_LA.with_(num_int_regs=k,
+                                                       num_fp_regs=k))
+                for k in (1, 2, 8, 32, 1 << 20)]
+    assert stats.misses == 1  # one core run served every point
+    assert outcomes[-1].ok
+    starved = [r for r in outcomes if not r.ok]
+    for result in starved:
+        assert result.failure_kind == "register-pressure"
+        assert result.failure_reason.loop_name == loop.name
+
+
+def test_cosmetic_config_fields_do_not_change_the_key():
+    loop = _suite_loop()
+    assert translation_key(loop, PROPOSED_LA) == \
+        translation_key(loop, PROPOSED_LA.with_(name="other",
+                                                bus_latency=9,
+                                                code_cache_entries=3))
+
+
+def test_max_ii_points_alias_onto_the_canonical_schedule():
+    """Once a loop schedules under its full II bound, every max-II
+    sweep point at or above the achieved II reuses that schedule."""
+    loop = _suite_loop()
+    stats = perf.translation_cache().stats
+    full = translate_loop(loop, INFINITE_LA)
+    assert full.ok and stats.misses == 1
+    achieved = full.image.schedule.ii
+    clamped = translate_loop(loop, INFINITE_LA.with_(max_ii=achieved + 1))
+    assert stats.misses == 1  # served by canonical aliasing, no re-run
+    assert clamped.ok
+    assert clamped.image.schedule.ii == achieved
+    assert clamped.meter.units == full.meter.units
+    # The rebound image reports the caller's true config, not the clamp.
+    assert clamped.image.config.max_ii == achieved + 1
+
+
+def test_ii_exhaustion_under_a_clamp_forces_exact_retranslation():
+    """A scheduling failure under a clamped max II proves nothing about
+    the true bound (its message even embeds the clamp), so the cache
+    must re-derive at the exact max II instead of serving it."""
+    loop = _suite_loop()
+    config = INFINITE_LA  # max_ii far above any loop's own II bound
+    core_config, ii_bound = _schedule_projection(
+        loop, config, TranslationOptions())
+    assert core_config.max_ii == ii_bound < config.max_ii
+    # Seed the clamped key with a (synthetic) exhausted-II failure.
+    poisoned = CoreEntry(
+        loop_name=loop.name,
+        failure=SchedulingError(
+            f"no feasible schedule up to maximum II {ii_bound}",
+            loop_name=loop.name),
+        ii_exhausted=True,
+        meter_final=MeterSnapshot({"scheduling": 5}, 5))
+    perf.translation_cache().put(
+        translation_key(loop, config), poisoned)
+    stats = perf.translation_cache().stats
+    result = translate_loop(loop, config)
+    assert stats.exact_fallbacks == 1
+    assert result.ok  # the exact run sees the true bound and succeeds
+
+
+def test_invalidation_drops_the_entry():
+    loop = _suite_loop()
+    translate_loop(loop, PROPOSED_LA)
+    assert invalidate_translation(loop, PROPOSED_LA)
+    assert not invalidate_translation(loop, PROPOSED_LA)
+    stats = perf.translation_cache().stats
+    misses_before = stats.misses
+    translate_loop(loop, PROPOSED_LA)
+    assert stats.misses == misses_before + 1  # really recomputed
+
+
+def test_disk_layer_round_trips_success_and_typed_failure(tmp_path):
+    cache = perf.translation_cache()
+    cache.attach_disk(str(tmp_path))
+    loop = _suite_loop()
+    ok_config = INFINITE_LA
+    fail_config = INFINITE_LA.with_(load_streams=0, load_addr_gens=0)
+    warm_ok = translate_loop(loop, ok_config)
+    warm_fail = translate_loop(loop, fail_config)
+    assert warm_ok.ok and not warm_fail.ok
+
+    # A "new process": same disk directory, empty memory layer.
+    cache.clear()
+    cache.attach_disk(str(tmp_path))
+    stats = cache.stats
+    cold_ok = translate_loop(loop, ok_config)
+    cold_fail = translate_loop(loop, fail_config)
+    assert stats.disk_hits >= 2
+    assert cold_ok.ok
+    assert cold_ok.image.schedule.ii == warm_ok.image.schedule.ii
+    assert cold_ok.meter.units == warm_ok.meter.units
+    # Typed failures keep their attributes through pickling: the
+    # default Exception reduce would replay cls(message) and drop them.
+    assert cold_fail.failure_kind == warm_fail.failure_kind
+    assert cold_fail.failure == warm_fail.failure
+    assert cold_fail.failure_reason.loop_name == loop.name
+
+
+def test_engine_off_and_on_agree_on_meter_and_image():
+    """Spot-check of the differential property the engine guarantees:
+    the cached path is observationally the reference path."""
+    for config in (PROPOSED_LA, INFINITE_LA.with_(num_int_units=2),
+                   INFINITE_LA.with_(max_ii=3)):
+        for loop in [_suite_loop(), _spec_loop()]:
+            perf.set_engine_enabled(False)
+            try:
+                ref = translate_loop(loop, config)
+            finally:
+                perf.set_engine_enabled(True)
+            eng = translate_loop(loop, config)
+            assert ref.ok == eng.ok
+            assert ref.failure == eng.failure
+            assert ref.meter.units == eng.meter.units
+            if ref.ok:
+                assert ref.image.schedule.times == eng.image.schedule.times
+                assert ref.image.schedule.units == eng.image.schedule.units
+                assert ref.image.config == eng.image.config
+                assert ref.image.registers == eng.image.registers
