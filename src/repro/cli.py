@@ -11,11 +11,13 @@ inspects a kernel's translation without writing code:
     python -m repro faults -n 120 --seed 2008  # guarded-mode fault campaign
     python -m repro fig3a --jobs 4             # parallel sweep evaluation
     python -m repro bench --jobs 2             # time engine vs reference
+    python -m repro chaos -n 24 --seed 2008    # infrastructure chaos campaign
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Optional
 
@@ -222,17 +224,18 @@ def cmd_translate(name: str) -> str:
     return "\n".join(lines)
 
 
-def cmd_faults(injections: int, seed: int, mode: str) -> str:
-    """Run a seeded fault-injection campaign through the guarded runtime."""
-    from repro.faults import CampaignConfig, format_campaign, run_campaign
+def cmd_faults(injections: int, seed: int, mode: str):
+    """Run a seeded fault-injection campaign through the guarded
+    runtime; returns the report so the caller can gate its exit code
+    on ``report.ok`` rather than scraping the formatted text."""
+    from repro.faults import CampaignConfig, run_campaign
     from repro.vm.guard import GuardConfig
 
     guard = GuardConfig(mode=mode, max_failures=10_000,
                         backoff_invocations=2)
     config = CampaignConfig(injections=injections, seed=seed, guard=guard)
-    report = run_campaign(
+    return run_campaign(
         config, progress=lambda msg: print(f"... {msg}", file=sys.stderr))
-    return format_campaign(report)
 
 
 def cmd_kernels() -> str:
@@ -268,6 +271,23 @@ def main(argv: Optional[list[str]] = None) -> int:
     faults.add_argument("--guard", choices=("checked", "off"),
                         default="checked",
                         help="guard mode under test (default checked)")
+    chaos = sub.add_parser("chaos",
+                           help="seeded infrastructure-fault campaign "
+                                "against the experiment engine")
+    chaos.add_argument("--faults", "-n", type=int, default=24,
+                       help="minimum faults to inject (default 24)")
+    chaos.add_argument("--seed", type=int, default=2008,
+                       help="campaign RNG seed (default 2008)")
+    chaos.add_argument("--figures", default=None,
+                       help="comma-separated figure names "
+                            "(default: fig3a,fig3b,fig4a,fig4b)")
+    chaos.add_argument("--jobs", "-j", type=int, default=2,
+                       help="worker processes for faulted sweeps "
+                            "(default 2; >= 2 so kill faults can land)")
+    chaos.add_argument("--workdir", default=None,
+                       help="campaign scratch directory (default: a "
+                            "fresh temp dir; holds the JSONL incident "
+                            "log and the attacked cache)")
     bench = sub.add_parser("bench",
                            help="benchmark the experiment engine vs the "
                                 "reference serial path")
@@ -297,6 +317,18 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro import perf
         perf.set_jobs(args.jobs)
 
+    # REPRO_CACHE_DIR opts every command into the on-disk translation
+    # cache; an unusable explicit override is a configuration error the
+    # user must see at startup, not a silent memory-only run.
+    if os.environ.get("REPRO_CACHE_DIR"):
+        from repro import perf
+        from repro.errors import CacheConfigError
+        try:
+            perf.enable_disk_cache()
+        except CacheConfigError as exc:
+            print(f"error: [{exc.kind}] {exc}", file=sys.stderr)
+            return 2
+
     if args.command in (None, "list"):
         width = max(len(n) for n in FIGURES)
         for name, (description, _fn) in FIGURES.items():
@@ -305,6 +337,8 @@ def main(argv: Optional[list[str]] = None) -> int:
               f"(see 'kernels')")
         print(f"  {'faults'.ljust(width)}  fault-injection campaign "
               f"(guarded runtime)")
+        print(f"  {'chaos'.ljust(width)}  infrastructure-fault campaign "
+              f"(experiment engine)")
         return 0
     if args.command == "kernels":
         print(cmd_kernels())
@@ -317,9 +351,28 @@ def main(argv: Optional[list[str]] = None) -> int:
             return 2
         return 0
     if args.command == "faults":
+        from repro.faults import format_campaign
         report = cmd_faults(args.injections, args.seed, args.guard)
-        print(report)
-        return 0 if "PASS" in report.rsplit("verdict:", 1)[-1] else 1
+        print(format_campaign(report))
+        # CI gates on this: any unexpected failure is a non-zero exit.
+        return 0 if report.ok else 1
+    if args.command == "chaos":
+        from repro.resilience.chaos import (
+            ChaosConfig,
+            SWEEP_FIGURES,
+            format_chaos,
+            run_chaos,
+        )
+        figures = (tuple(args.figures.split(","))
+                   if args.figures else SWEEP_FIGURES)
+        config = ChaosConfig(faults=args.faults, seed=args.seed,
+                             figures=figures, jobs=max(1, args.jobs),
+                             workdir=args.workdir)
+        report = run_chaos(
+            config,
+            progress=lambda msg: print(f"... {msg}", file=sys.stderr))
+        print(format_chaos(report))
+        return 0 if report.ok else 1
     if args.command == "bench":
         from repro.experiments.bench import (
             DEFAULT_OUTPUT,

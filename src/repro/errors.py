@@ -19,6 +19,12 @@ The taxonomy has two trunks:
   (a structural invariant tripped, or the differential guard observed a
   semantic divergence).  These trigger deoptimization in the guarded
   runtime (:mod:`repro.vm.guard`).
+* :class:`InfrastructureError` — the *experiment infrastructure* (the
+  on-disk translation cache, the worker pool) misbehaved.  These never
+  change a result: the resilience layer (:mod:`repro.resilience`)
+  quarantines, retries or degrades to the serial/rebuild path, and
+  records an incident under the same ``kind`` taxonomy so guard deopts
+  and infrastructure faults share one observability surface.
 """
 
 from __future__ import annotations
@@ -193,10 +199,102 @@ class GuardViolation(ExecutionError):
         self.mismatches = list(mismatches or [])
 
 
+# -- infrastructure failures --------------------------------------------------
+
+class InfrastructureError(ReproError):
+    """The experiment infrastructure (cache, worker pool) misbehaved.
+
+    Unlike translation/execution failures these say nothing about the
+    *workload*: the resilience layer recovers (quarantine + rebuild,
+    retry + serial fallback) and results stay bit-identical.  They are
+    raised to callers only when recovery itself is impossible (a task
+    that fails deterministically, an explicitly configured cache
+    directory that cannot be used).
+    """
+
+    kind = "infrastructure"
+
+
+class CacheIntegrityError(InfrastructureError):
+    """An on-disk cache entry failed its integrity checks.
+
+    ``reason`` is a stable sub-tag: ``bad-magic``, ``version-mismatch``,
+    ``truncated``, ``checksum-mismatch``, ``unpickle`` or
+    ``wrong-type``.  The cache never lets this escape a lookup — the
+    entry is quarantined and the lookup degrades to a miss — but the
+    typed form is what the quarantine step records in the incident log.
+    """
+
+    kind = "cache-corruption"
+
+    def __init__(self, message: str, path: Optional[str] = None,
+                 reason: Optional[str] = None, **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.path = path
+        self.reason = reason
+
+
+class CacheConfigError(InfrastructureError):
+    """An explicitly configured cache location is unusable.
+
+    Raised at attach time when ``REPRO_CACHE_DIR`` (or an explicit
+    ``attach_disk(path, strict=True)``) points somewhere that cannot be
+    created or written — a loud early error beats silently degrading a
+    location the user asked for by name.
+    """
+
+    kind = "cache-config"
+
+    def __init__(self, message: str, path: Optional[str] = None,
+                 **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.path = path
+
+
+class WorkerTaskError(InfrastructureError):
+    """A sweep task raised inside a worker (or on the serial path).
+
+    Deterministic task failures are not retried — the same inputs would
+    fail again — so the original exception is re-raised in this typed
+    form with the originating item attached (``item_index`` into the
+    fan-out batch plus the caller's human-readable ``point`` label,
+    e.g. ``"fig3a:IEx (1 CCA)[x=8]"``).  The original exception rides
+    on ``__cause__``.
+    """
+
+    kind = "worker-task"
+
+    def __init__(self, message: str, item_index: Optional[int] = None,
+                 point: Optional[str] = None, **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.item_index = item_index
+        self.point = point
+
+
+class WorkerLostError(InfrastructureError):
+    """A worker process died (crash, OOM kill, signal) mid-task.
+
+    Recorded per loss; raised only if the bounded retry budget and the
+    serial fallback both fail, which indicates the parent process
+    itself is unhealthy.
+    """
+
+    kind = "worker-lost"
+
+
+class WorkerStallError(InfrastructureError):
+    """The pool made no progress for longer than the stall deadline."""
+
+    kind = "worker-timeout"
+
+
 __all__ = [
     "AcceleratorFault",
+    "CacheConfigError",
+    "CacheIntegrityError",
     "ExecutionError",
     "GuardViolation",
+    "InfrastructureError",
     "RegisterPressureError",
     "ReproError",
     "ResourceClassError",
@@ -205,4 +303,7 @@ __all__ = [
     "StreamLimitError",
     "TranslationBudgetExceeded",
     "TranslationError",
+    "WorkerLostError",
+    "WorkerStallError",
+    "WorkerTaskError",
 ]

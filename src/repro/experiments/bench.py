@@ -228,6 +228,12 @@ def format_bench(report: BenchReport) -> str:
         f"{t.get('exact_fallbacks', 0)} exact-II fallbacks), "
         f"{report.cache_stats.get('cycles_entries', 0)} cycle-timing "
         f"entries, jobs={report.jobs}")
+    incidents = report.cache_stats.get("incidents", {})
+    if incidents:
+        # A healthy bench run records none; anything here means the
+        # resilience layer recovered from real trouble mid-benchmark.
+        lines.append("resilience incidents: " + ", ".join(
+            f"{kind}={count}" for kind, count in incidents.items()))
     lines.append("figure text identical across passes: "
                  + ("yes" if report.all_identical else "NO"))
     return "\n".join(lines)

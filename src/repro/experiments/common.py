@@ -84,7 +84,8 @@ def run_suite(config: VMConfig,
     from repro.perf.parallel import parallel_map
     benches = media_fp_benchmarks() if benchmarks is None else benchmarks
     payloads = [(config, bench, annotate) for bench in benches]
-    runs = parallel_map(_run_one_benchmark, payloads, jobs=jobs)
+    runs = parallel_map(_run_one_benchmark, payloads, jobs=jobs,
+                        label_of=lambda i: f"benchmark {benches[i].name}")
     return {bench.name: run for bench, run in zip(benches, runs)}
 
 

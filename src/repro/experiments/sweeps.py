@@ -95,12 +95,17 @@ def sweep(label: str, xs: list[int],
     lambda, which cannot cross a process boundary) and the points fan
     out over :func:`~repro.perf.parallel.parallel_map`; fractions come
     back in x order, so the series is identical at any job count.
+
+    A failing point is never silently swallowed: it surfaces as a
+    typed :class:`~repro.errors.WorkerTaskError` naming the series and
+    the x value that produced it (``"IEx (1 CCA)[x=8]"``).
     """
     from repro.perf.parallel import parallel_map
     benches = media_fp_benchmarks() if benchmarks is None else benchmarks
     base, infinite = _baseline_and_infinite(benches)
     payloads = [(make_config(x), benches, base, infinite) for x in xs]
-    fractions = parallel_map(_sweep_point, payloads, jobs=jobs)
+    fractions = parallel_map(_sweep_point, payloads, jobs=jobs,
+                             label_of=lambda i: f"{label}[x={xs[i]}]")
     return SweepSeries(label=label, xs=xs, fractions=fractions)
 
 

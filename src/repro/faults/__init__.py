@@ -1,12 +1,25 @@
-"""Fault injection: seeded bit-flip campaigns against the accelerator.
+"""Fault injection: seeded campaigns against accelerator *and* engine.
 
-Proves the differential guard (:mod:`repro.vm.guard`) actually catches
-corrupted execution: a campaign flips single bits in the register file,
-stream FIFOs and CCA outputs of the overlapped pipeline executor and
-checks that every observable corruption is detected, deoptimized, and
-recovered to bit-identical scalar results.
+Two injector families:
+
+* **Datapath upsets** (:mod:`repro.faults.injector`) flip single bits
+  in the register file, stream FIFOs and CCA outputs of the overlapped
+  pipeline executor; campaigns (:mod:`repro.faults.campaign`,
+  ``python -m repro faults``) prove the differential guard detects,
+  deoptimizes and recovers every observable corruption.
+* **Infrastructure faults** (:mod:`repro.faults.infra`) kill sweep
+  workers mid-task, corrupt/truncate on-disk translation-cache entries
+  and inject I/O errors; chaos campaigns
+  (:mod:`repro.resilience.chaos`, ``python -m repro chaos``) prove the
+  resilience layer keeps figure output byte-identical through them.
 """
 
+from repro.faults.infra import (
+    CORRUPTION_MODES,
+    InfraFaultMode,
+    InfraFaultSpec,
+    corrupt_entry,
+)
 from repro.faults.injector import (
     FaultInjector,
     FaultSite,
@@ -22,12 +35,16 @@ from repro.faults.campaign import (
 )
 
 __all__ = [
+    "CORRUPTION_MODES",
     "CampaignConfig",
     "CampaignReport",
     "FaultInjector",
     "FaultSite",
     "FaultSpec",
+    "InfraFaultMode",
+    "InfraFaultSpec",
     "InjectionRun",
+    "corrupt_entry",
     "flip_bit",
     "format_campaign",
     "run_campaign",

@@ -1,0 +1,213 @@
+"""Infrastructure fault injectors: kill workers, corrupt caches, fail I/O.
+
+PR 1's injectors flip datapath bits to prove the differential guard;
+these injectors attack the *experiment infrastructure* instead — the
+worker pool and the on-disk translation cache — to prove the
+resilience layer (:mod:`repro.resilience`).  Three families:
+
+* **Worker kill** — a worker SIGKILLs itself at the start of a chosen
+  task index, exactly once, simulating an OOM kill / crash mid-task.
+* **I/O errors** — the cache's load/store paths consult
+  :func:`check_io` and receive an injected :class:`OSError`, exactly
+  once per armed fault, simulating transient disk failures.
+* **Cache corruption** — :func:`corrupt_entry` truncates, bit-flips or
+  header-mangles an on-disk entry in place (the parent does this
+  between runs, modelling a torn write or bitrot found at read time).
+
+Arming crosses process boundaries through the environment
+(``REPRO_CHAOS_SPEC`` holds a JSON fault list; forked and spawned
+workers inherit it), and *fire-once* semantics survive retries and
+pool restarts through sentinel files: a fault fires only if its
+``O_CREAT|O_EXCL`` sentinel creation wins, so a retried task is not
+re-killed and a rebuilt store is not re-failed.  When nothing is armed
+the hot-path checks are a single falsy test.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+import signal
+from dataclasses import dataclass
+from typing import Optional
+
+CHAOS_SPEC_ENV = "REPRO_CHAOS_SPEC"
+
+
+class InfraFaultMode(enum.Enum):
+    """Which piece of infrastructure the fault attacks."""
+
+    WORKER_KILL = "worker-kill"
+    IO_ERROR = "io-error"
+    CACHE_TRUNCATE = "cache-truncate"
+    CACHE_FLIP = "cache-flip"
+    CACHE_HEADER = "cache-header"
+    CACHE_STALE_VERSION = "cache-stale-version"
+
+
+#: The corruption modes :func:`corrupt_entry` can apply in place.
+CORRUPTION_MODES = (InfraFaultMode.CACHE_TRUNCATE,
+                    InfraFaultMode.CACHE_FLIP,
+                    InfraFaultMode.CACHE_HEADER,
+                    InfraFaultMode.CACHE_STALE_VERSION)
+
+
+@dataclass(frozen=True)
+class InfraFaultSpec:
+    """One armed infrastructure fault.
+
+    ``token`` names the fault (unique per campaign) and doubles as its
+    fire-once sentinel filename; ``task_index`` targets worker-kill
+    faults at one fan-out item; ``io_op`` targets I/O faults at the
+    cache's ``"load"`` or ``"store"`` path.
+    """
+
+    mode: InfraFaultMode
+    token: str
+    task_index: Optional[int] = None
+    io_op: Optional[str] = None
+
+    def to_json(self) -> dict:
+        return {"mode": self.mode.value, "token": self.token,
+                "task_index": self.task_index, "io_op": self.io_op}
+
+    @staticmethod
+    def from_json(data: dict) -> "InfraFaultSpec":
+        return InfraFaultSpec(mode=InfraFaultMode(data["mode"]),
+                              token=data["token"],
+                              task_index=data.get("task_index"),
+                              io_op=data.get("io_op"))
+
+
+# -- arming (environment-carried, so workers inherit it) ----------------------
+
+def arm(specs: list[InfraFaultSpec], state_dir: str) -> None:
+    """Arm *specs*; sentinels for fire-once live under *state_dir*."""
+    os.makedirs(state_dir, exist_ok=True)
+    os.environ[CHAOS_SPEC_ENV] = json.dumps({
+        "state_dir": state_dir,
+        "faults": [s.to_json() for s in specs],
+    })
+
+
+def disarm() -> None:
+    os.environ.pop(CHAOS_SPEC_ENV, None)
+
+
+def _armed() -> tuple[Optional[str], list[InfraFaultSpec]]:
+    raw = os.environ.get(CHAOS_SPEC_ENV)
+    if not raw:
+        return None, []
+    try:
+        data = json.loads(raw)
+        return data["state_dir"], [InfraFaultSpec.from_json(f)
+                                   for f in data["faults"]]
+    except (ValueError, KeyError, TypeError):
+        return None, []
+
+
+def _claim(state_dir: str, token: str) -> bool:
+    """Atomically claim the fire-once sentinel for *token*."""
+    try:
+        fd = os.open(os.path.join(state_dir, token),
+                     os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    except OSError:
+        return False
+    os.close(fd)
+    return True
+
+
+def fired(state_dir: str, token: str) -> bool:
+    """Whether the fault named *token* has fired (sentinel exists)."""
+    return os.path.exists(os.path.join(state_dir, token))
+
+
+# -- hot-path hooks -----------------------------------------------------------
+
+def maybe_kill_worker(task_index: int) -> None:
+    """Called by the pool worker before running task *task_index*.
+
+    SIGKILL leaves no chance for cleanup handlers — the honest model of
+    an OOM kill.  The sentinel is claimed *first*, so the retried task
+    runs to completion.  Fires only inside a real pool worker
+    (``REPRO_IN_WORKER`` set): when supervision has degraded the task
+    to the parent process, killing it would take down the experiment
+    the layer exists to protect.
+    """
+    if not os.environ.get("REPRO_IN_WORKER"):
+        return
+    state_dir, specs = _armed()
+    if state_dir is None:
+        return
+    for spec in specs:
+        if (spec.mode is InfraFaultMode.WORKER_KILL
+                and spec.task_index == task_index
+                and _claim(state_dir, spec.token)):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def check_io(op: str, path: str) -> None:
+    """Called by the disk cache before a load/store touches *path*.
+
+    Raises an injected :class:`OSError` once per armed fault whose
+    ``io_op`` matches; the error message embeds the fault token so the
+    resulting incident record is attributable to its injection.
+    """
+    state_dir, specs = _armed()
+    if state_dir is None:
+        return
+    for spec in specs:
+        if (spec.mode is InfraFaultMode.IO_ERROR and spec.io_op == op
+                and _claim(state_dir, spec.token)):
+            raise OSError(f"injected I/O fault {spec.token} "
+                          f"({op} {os.path.basename(path)})")
+
+
+# -- parent-side cache corruption ---------------------------------------------
+
+def corrupt_entry(path: str, mode: InfraFaultMode,
+                  rng=None) -> str:
+    """Corrupt the on-disk entry at *path* in place; returns a detail
+    string describing what was done.
+
+    Overwrites go through a plain ``open``, not the atomic writer —
+    the whole point is to fabricate the torn/rotten states a crash
+    produces.
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if mode is InfraFaultMode.CACHE_TRUNCATE:
+        keep = len(blob) // 2 if rng is None else int(
+            rng.integers(0, max(1, len(blob))))
+        with open(path, "wb") as handle:
+            handle.write(blob[:keep])
+        return f"truncated to {keep}/{len(blob)} bytes"
+    if mode is InfraFaultMode.CACHE_FLIP:
+        from repro.resilience.integrity import HEADER_SIZE
+        if len(blob) <= HEADER_SIZE:
+            offset = max(0, len(blob) - 1)
+        elif rng is None:
+            offset = HEADER_SIZE
+        else:
+            offset = int(rng.integers(HEADER_SIZE, len(blob)))
+        corrupted = bytearray(blob)
+        corrupted[offset] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(corrupted))
+        return f"flipped byte at offset {offset}"
+    if mode is InfraFaultMode.CACHE_HEADER:
+        corrupted = b"XXXX" + blob[4:]
+        with open(path, "wb") as handle:
+            handle.write(corrupted)
+        return "overwrote magic"
+    if mode is InfraFaultMode.CACHE_STALE_VERSION:
+        import struct
+        corrupted = bytearray(blob)
+        struct.pack_into("<I", corrupted, 4, 0)  # version 0 never valid
+        with open(path, "wb") as handle:
+            handle.write(bytes(corrupted))
+        return "rewrote format version to 0"
+    raise ValueError(f"not a corruption mode: {mode}")

@@ -111,7 +111,7 @@ def clear_caches() -> None:
 #: *entries* stay worker-local, but the aggregate hit/miss accounting
 #: must describe the whole run, whatever the job count.
 COUNTER_FIELDS = ("hits", "misses", "disk_hits", "stores",
-                  "exact_fallbacks")
+                  "exact_fallbacks", "quarantined", "disk_errors")
 
 
 def counter_snapshot() -> dict:
@@ -136,6 +136,7 @@ def merge_counters(delta: dict) -> None:
 
 def cache_stats() -> dict:
     """Aggregate statistics for ``BENCH_experiments.json``."""
+    from repro.resilience.incidents import incident_log
     t = translation_cache().stats
     return {
         "translation": {
@@ -143,8 +144,13 @@ def cache_stats() -> dict:
             "disk_hits": t.disk_hits, "stores": t.stores,
             "exact_fallbacks": t.exact_fallbacks,
             "hit_rate": t.hit_rate,
+            "quarantined": t.quarantined,
+            "disk_errors": t.disk_errors,
         },
         "cycles_entries": len(cycles_cache),
         "baseline_entries": len(baseline_cache),
         "analysis_entries": len(analysis_cache),
+        #: kind -> count of resilience-layer recoveries this process
+        #: took (quarantines, worker losses, serial fallbacks, ...).
+        "incidents": incident_log().counts(),
     }

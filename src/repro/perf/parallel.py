@@ -3,28 +3,44 @@
 ``parallel_map(fn, items)`` is the single primitive every sweep and
 suite runner uses: with ``--jobs 1`` (the default) it is a plain list
 comprehension, bit-identical to the pre-engine serial path; with more
-jobs it fans the items over a :class:`ProcessPoolExecutor` and returns
-results **in item order** (``Executor.map`` semantics), so merged output
-is byte-identical regardless of worker count or completion order.
+jobs it fans the items over a supervised process pool
+(:func:`repro.resilience.supervisor.supervised_map`) and returns
+results **in item order**, so merged output is byte-identical
+regardless of worker count, completion order, crashes or retries.
 
 Workers inherit the parent's in-memory caches on fork-capable
 platforms, mark themselves via ``REPRO_IN_WORKER`` so nested
 ``parallel_map`` calls inside a worker run serially instead of
 oversubscribing the machine, and report their translation-cache
 counter increments back with each result so the parent's aggregate
-statistics describe the whole run at any job count.  Any pool-level failure (unpicklable
-payloads, missing semaphores in restricted sandboxes) degrades to the
-serial path rather than failing the experiment.
+statistics describe the whole run at any job count.
+
+Failure handling is two-tier (see DESIGN.md, "Failure model &
+recovery"):
+
+* *Infrastructure* failures — an unpicklable payload, a pool that
+  cannot start, a worker killed mid-task, a hung pool — are recovered
+  by salvage + bounded retry and, ultimately, degradation to the
+  serial path.  Each recovery is an incident record, never a silently
+  swallowed exception.
+* *Task* failures — ``fn`` itself raised — are deterministic and
+  re-raised immediately as :class:`~repro.errors.WorkerTaskError` with
+  the originating item attached, identically at every job count.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Optional, Sequence, TypeVar
 
 from repro import perf
+from repro.resilience.incidents import record_incident
+from repro.resilience.supervisor import (
+    SupervisorConfig,
+    raise_task_error,
+    supervised_map,
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -34,37 +50,76 @@ def _worker_init() -> None:
     os.environ[perf.IN_WORKER_ENV] = "1"
 
 
-def _instrumented(payload):
-    """Run one item in a worker, piggybacking the translation-cache
-    counter increments so the parent can merge them: cache *entries*
-    stay worker-local, but hit/miss accounting must cover the run."""
-    fn, item = payload
-    before = perf.counter_snapshot()
-    result = fn(item)
-    return result, perf.counter_delta(before)
+class _Instrumented:
+    """Picklable per-item task closure shipped to pool workers.
+
+    Piggybacks the translation-cache counter increments on each result
+    so the parent can merge them (cache *entries* stay worker-local,
+    but hit/miss accounting must cover the run), and gives the chaos
+    injectors their worker-kill hook — armed faults fire here, inside
+    a real worker, never in the parent.
+    """
+
+    def __init__(self, fn: Callable, items: Sequence) -> None:
+        self.fn = fn
+        self.items = list(items)
+
+    def __call__(self, index: int):
+        from repro.faults import infra
+        infra.maybe_kill_worker(index)
+        in_worker = bool(os.environ.get(perf.IN_WORKER_ENV))
+        before = perf.counter_snapshot()
+        result = self.fn(self.items[index])
+        # When the supervisor degraded to running this task in the
+        # parent, its increments are already in the parent's stats —
+        # report a zero delta so they are not merged twice.
+        delta = (perf.counter_delta(before) if in_worker
+                 else {name: 0 for name in perf.COUNTER_FIELDS})
+        return result, delta
 
 
 def parallel_map(fn: Callable[[T], R], items: Sequence[T],
-                 jobs: Optional[int] = None) -> list[R]:
+                 jobs: Optional[int] = None,
+                 label_of: Optional[Callable[[int], str]] = None,
+                 supervision: Optional[SupervisorConfig] = None
+                 ) -> list[R]:
     """Apply *fn* to every item, preserving item order in the result.
 
-    ``jobs=None`` consults the global ``--jobs`` setting.  Exceptions
-    raised by *fn* propagate to the caller in both modes.
+    ``jobs=None`` consults the global ``--jobs`` setting.  ``label_of``
+    maps an item index to a human-readable sweep-point label attached
+    to typed task failures.  Exceptions raised by *fn* surface as
+    :class:`~repro.errors.WorkerTaskError` in both modes.
     """
     items = list(items)
     jobs = perf.get_jobs() if jobs is None else max(1, jobs)
     jobs = min(jobs, len(items)) if items else 1
     if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        return _serial(fn, items, label_of)
+    task = _Instrumented(fn, items)
     try:
-        with ProcessPoolExecutor(max_workers=jobs,
-                                 initializer=_worker_init) as pool:
-            pairs = list(pool.map(_instrumented,
-                                  [(fn, item) for item in items],
-                                  chunksize=1))
-    except (OSError, ValueError, AttributeError, ImportError,
-            pickle.PicklingError):
-        return [fn(item) for item in items]
+        # Pre-flight the payload: an unpicklable fn or item can never
+        # cross a process boundary, so degrade to serial up front
+        # instead of tearing down a pool per item.
+        pickle.dumps(task)
+    except (pickle.PicklingError, AttributeError, TypeError) as exc:
+        record_incident(
+            "serial-fallback", "parallel",
+            f"payload not picklable ({type(exc).__name__}); running "
+            f"{len(items)} items serially", items=len(items))
+        return _serial(fn, items, label_of)
+    pairs = supervised_map(task, len(items), jobs, config=supervision,
+                           initializer=_worker_init, label_of=label_of)
     for _result, delta in pairs:
         perf.merge_counters(delta)
     return [result for result, _delta in pairs]
+
+
+def _serial(fn: Callable[[T], R], items: Sequence[T],
+            label_of: Optional[Callable[[int], str]]) -> list[R]:
+    results: list[R] = []
+    for index, item in enumerate(items):
+        try:
+            results.append(fn(item))
+        except Exception as exc:
+            raise_task_error(exc, index, label_of)
+    return results

@@ -13,9 +13,20 @@ Two layers:
 
 * in-memory dict — shared by every ``VirtualMachine`` in the process
   (and, via fork, by parallel sweep workers);
-* optional on-disk pickle files under ``benchmarks/results/.cache/`` —
-  shared across processes and CLI invocations.  Disk I/O failures are
-  never fatal; the cache silently degrades to memory-only.
+* optional on-disk files under ``benchmarks/results/.cache/`` (or
+  ``REPRO_CACHE_DIR``) — shared across processes and CLI invocations.
+
+The disk layer treats its own files as untrusted (DESIGN.md, "Failure
+model & recovery"): every entry is framed with a format version and a
+sha256 checksum (:mod:`repro.resilience.integrity`), written via
+atomic temp-file+rename, and any entry that fails validation — torn,
+truncated, bit-rotted, or written by an older format — is *quarantined*
+(moved aside with an incident record) and the lookup degrades to a
+miss, so the entry is transparently rebuilt.  Disk I/O failures are
+never fatal; the cache degrades to memory-only and records the
+incident.  The one loud failure is an explicitly configured
+``REPRO_CACHE_DIR`` that cannot be used, which raises
+:class:`~repro.errors.CacheConfigError` at attach time.
 """
 
 from __future__ import annotations
@@ -26,7 +37,42 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.errors import CacheConfigError, CacheIntegrityError
+
 DEFAULT_DISK_DIR = os.path.join("benchmarks", "results", ".cache")
+
+#: Environment override for the disk layer's location, validated
+#: strictly at attach time (a mistyped path the user asked for by name
+#: must fail loudly, not silently degrade).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_disk_dir() -> str:
+    """The disk layer's default location (``REPRO_CACHE_DIR`` wins)."""
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_DISK_DIR
+
+
+def validate_cache_dir(path: str) -> None:
+    """Prove *path* is a usable cache directory or raise
+    :class:`CacheConfigError` with a clear, actionable message."""
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError as exc:
+        raise CacheConfigError(
+            f"cache directory {path!r} cannot be created: {exc}",
+            path=path) from exc
+    if not os.path.isdir(path):
+        raise CacheConfigError(
+            f"cache path {path!r} exists but is not a directory",
+            path=path)
+    try:
+        fd, probe = tempfile.mkstemp(dir=path, suffix=".probe")
+        os.close(fd)
+        os.unlink(probe)
+    except OSError as exc:
+        raise CacheConfigError(
+            f"cache directory {path!r} is not writable: {exc}",
+            path=path) from exc
 
 
 @dataclass
@@ -88,6 +134,10 @@ class TransCacheStats:
     invalidations: int = 0
     #: Times a clamped-key failure forced an exact-key retranslation.
     exact_fallbacks: int = 0
+    #: Corrupt/stale disk entries moved aside (each is an incident).
+    quarantined: int = 0
+    #: Disk I/O failures survived by degrading (each is an incident).
+    disk_errors: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -107,11 +157,26 @@ class TranslationCache:
 
     # -- disk layer --------------------------------------------------------
 
-    def attach_disk(self, path: Optional[str] = None) -> str:
-        self.disk_dir = path or DEFAULT_DISK_DIR
+    def attach_disk(self, path: Optional[str] = None,
+                    strict: Optional[bool] = None) -> str:
+        """Attach the on-disk layer.
+
+        With no *path*, the location comes from ``REPRO_CACHE_DIR`` or
+        the default; an env-provided location is validated strictly
+        (the user named it — a typo must raise
+        :class:`~repro.errors.CacheConfigError`, not silently degrade).
+        Pass ``strict=True`` to get the same loud validation for an
+        explicit *path*.
+        """
+        if strict is None:
+            strict = path is None and bool(os.environ.get(CACHE_DIR_ENV))
+        self.disk_dir = path or default_disk_dir()
         try:
-            os.makedirs(self.disk_dir, exist_ok=True)
-        except OSError:
+            validate_cache_dir(self.disk_dir)
+        except CacheConfigError:
+            if strict:
+                self.disk_dir = None
+                raise
             self.disk_dir = None
         return self.disk_dir or ""
 
@@ -122,30 +187,81 @@ class TranslationCache:
         assert self.disk_dir is not None
         return os.path.join(self.disk_dir, f"{key}.pkl")
 
+    def _io_incident(self, op: str, path: str, exc: Exception) -> None:
+        from repro.resilience.incidents import record_incident
+        self.stats.disk_errors += 1
+        record_incident(
+            "io-error", "transcache",
+            f"disk {op} failed, degrading to memory-only for this "
+            f"entry: {exc}", op=op, path=path,
+            error=f"{type(exc).__name__}: {exc}")
+
+    def _quarantine(self, path: str, reason: str, detail: str
+                    ) -> None:
+        from repro.resilience import integrity
+        from repro.resilience.incidents import record_incident
+        moved = integrity.quarantine(path, reason)
+        self.stats.quarantined += 1
+        record_incident(
+            "cache-corruption", "transcache",
+            f"quarantined cache entry ({reason}): {detail}",
+            path=path, reason=reason, quarantined_to=moved)
+
     def _disk_load(self, key: str) -> Optional[CoreEntry]:
+        """Load + validate one entry; any failure is a miss, never an
+        exception — corruption is quarantined, I/O errors recorded."""
         if self.disk_dir is None:
             return None
+        from repro.faults import infra
+        from repro.resilience import integrity
+        path = self._disk_path(key)
         try:
-            with open(self._disk_path(key), "rb") as handle:
-                entry = pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError, AttributeError,
-                ImportError, IndexError):
+            infra.check_io("load", path)
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except FileNotFoundError:
+            return None  # a plain miss, not an incident
+        except OSError as exc:
+            self._io_incident("load", path, exc)
             return None
-        return entry if isinstance(entry, CoreEntry) else None
+        try:
+            payload = integrity.unframe(blob, path=path)
+        except CacheIntegrityError as exc:
+            self._quarantine(path, exc.reason or "invalid", exc.message)
+            return None
+        try:
+            entry = pickle.loads(payload)
+        except (pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError, TypeError, ValueError) as exc:
+            # Checksum-valid bytes that no longer unpickle: written by
+            # an incompatible code revision under the same format
+            # version — stale, not torn, but quarantined all the same.
+            self._quarantine(path, "unpickle",
+                             f"{type(exc).__name__}: {exc}")
+            return None
+        if not isinstance(entry, CoreEntry):
+            self._quarantine(path, "wrong-type",
+                             f"payload is {type(entry).__name__}")
+            return None
+        return entry
 
     def _disk_store(self, key: str, entry: CoreEntry) -> None:
         if self.disk_dir is None:
             return
+        from repro.faults import infra
+        from repro.resilience import integrity
+        path = self._disk_path(key)
         try:
-            fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, self._disk_path(key))  # atomic vs readers
-        except (OSError, pickle.PickleError, TypeError):
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            payload = pickle.dumps(entry,
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PickleError, TypeError) as exc:
+            self._io_incident("store", path, exc)
+            return
+        try:
+            infra.check_io("store", path)
+            integrity.write_atomic(path, integrity.frame(payload))
+        except OSError as exc:
+            self._io_incident("store", path, exc)
 
     # -- lookup/insert -----------------------------------------------------
 

@@ -1,0 +1,209 @@
+"""Worker supervision: deadlines, crash recovery, serial degradation.
+
+``supervised_map`` is the fault-tolerant core under
+:func:`repro.perf.parallel.parallel_map`.  It owns a pool of worker
+processes and enforces, in order of escalation:
+
+1. **Completion heartbeats** — the pool is healthy while futures keep
+   completing.  If no task finishes for ``stall_timeout_s`` the pool is
+   declared hung (a worker stuck in an uninterruptible state looks
+   exactly like this from the parent) and abandoned.
+2. **Crash detection** — a worker killed mid-task (OOM killer, SIGKILL,
+   segfault) breaks the pool; every completed result is salvaged and
+   only the unfinished items are retried.
+3. **Bounded retry with exponential backoff** — a fresh pool is built
+   after ``backoff_s * 2**(attempt-1)``; after ``max_pool_retries``
+   rebuilds the pool is considered unsalvageable.
+4. **Serial degradation** — remaining items run in the parent process,
+   the same code path as ``--jobs 1``.  Results stay deterministic
+   because they are merged by item *index*, never completion order.
+
+Task-level exceptions (the function itself raised) are different in
+kind: they are deterministic, so retrying is pointless — the original
+exception is re-raised immediately as a typed
+:class:`~repro.errors.WorkerTaskError` with the originating item
+attached.  Every recovery action is recorded in the incident log
+(:mod:`repro.resilience.incidents`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import CancelledError, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.errors import WorkerTaskError
+from repro.resilience.incidents import record_incident
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Supervision knobs (env-overridable for campaigns and CI)."""
+
+    #: Pool declared hung after this long with no task completing.
+    stall_timeout_s: float = 120.0
+    #: Fresh pools built after a crash/stall before degrading to serial.
+    max_pool_retries: int = 2
+    #: First-retry backoff; doubles per subsequent retry.
+    backoff_s: float = 0.25
+    #: Heartbeat poll interval.
+    poll_s: float = 0.05
+
+    @staticmethod
+    def from_env() -> "SupervisorConfig":
+        def _float(name: str, default: float) -> float:
+            try:
+                return float(os.environ.get(name, default))
+            except ValueError:
+                return default
+
+        return SupervisorConfig(
+            stall_timeout_s=_float("REPRO_STALL_TIMEOUT_S", 120.0),
+            max_pool_retries=int(_float("REPRO_POOL_RETRIES", 2)),
+            backoff_s=_float("REPRO_POOL_BACKOFF_S", 0.25))
+
+
+def describe_item(label_of: Optional[Callable[[int], str]],
+                  index: int) -> str:
+    if label_of is None:
+        return f"item {index}"
+    try:
+        return label_of(index)
+    except Exception:
+        return f"item {index}"
+
+
+def raise_task_error(exc: BaseException, index: int,
+                     label_of: Optional[Callable[[int], str]]):
+    """Re-raise a task's exception in typed form with its item attached.
+
+    Every fan-out level contributes its own context — a benchmark
+    failing inside sweep point x=8 chains ``"IEx[x=8]"`` around
+    ``"benchmark epic"`` — so the ``__cause__`` chain reads like a
+    stack of sweep coordinates down to the real exception, whose own
+    ``kind`` survives on the innermost link.
+    """
+    point = describe_item(label_of, index)
+    kind = getattr(exc, "kind", type(exc).__name__)
+    raise WorkerTaskError(
+        f"sweep task failed at {point}: [{kind}] {exc}",
+        item_index=index, point=point) from exc
+
+
+def _run_serial(task: Callable[[int], object], indices: Sequence[int],
+                results: list, done: list,
+                label_of: Optional[Callable[[int], str]]) -> None:
+    for index in indices:
+        try:
+            results[index] = task(index)
+        except Exception as exc:
+            raise_task_error(exc, index, label_of)
+        done[index] = True
+
+
+def supervised_map(task: Callable[[int], object], count: int, jobs: int,
+                   config: Optional[SupervisorConfig] = None,
+                   initializer: Optional[Callable[[], None]] = None,
+                   label_of: Optional[Callable[[int], str]] = None
+                   ) -> list:
+    """Run ``task(i)`` for ``i in range(count)`` under supervision.
+
+    ``task`` must be picklable (the caller pre-flights the payload);
+    the returned list is indexed by item, whatever order tasks finished
+    or how many pools it took.
+    """
+    config = config or SupervisorConfig.from_env()
+    results: list = [None] * count
+    done = [False] * count
+    attempt = 0
+    while True:
+        pending = [i for i in range(count) if not done[i]]
+        if not pending:
+            return results
+        if attempt > config.max_pool_retries:
+            record_incident(
+                "retry-exhausted", "parallel",
+                f"pool retry budget ({config.max_pool_retries}) spent; "
+                f"degrading {len(pending)} remaining items to serial",
+                remaining=len(pending), attempts=attempt)
+            record_incident(
+                "serial-fallback", "parallel",
+                f"running {len(pending)} items serially after pool "
+                f"failures", remaining=len(pending))
+            _run_serial(task, pending, results, done, label_of)
+            return results
+        if attempt > 0:
+            time.sleep(config.backoff_s * (2 ** (attempt - 1)))
+        verdict = _one_pool_pass(task, pending, jobs, config, initializer,
+                                 results, done, label_of)
+        if verdict == "pool-unavailable":
+            record_incident(
+                "serial-fallback", "parallel",
+                f"process pool unavailable; running {len(pending)} items "
+                f"serially", remaining=len(pending))
+            _run_serial(task, pending, results, done, label_of)
+            return results
+        if verdict == "ok":
+            continue  # loop exits via the not-pending check
+        # crashed / stalled: salvage what completed, retry the rest.
+        attempt += 1
+        remaining = sum(1 for i in range(count) if not done[i])
+        salvaged = len(pending) - remaining
+        kind = "worker-lost" if verdict == "crashed" else "worker-timeout"
+        record_incident(
+            kind, "parallel",
+            f"pool {verdict} on attempt {attempt} "
+            f"({salvaged}/{len(pending)} results salvaged); "
+            f"retrying {remaining} items",
+            attempt=attempt, salvaged=salvaged, remaining=remaining,
+            backoff_s=config.backoff_s * (2 ** (attempt - 1))
+            if attempt <= config.max_pool_retries else None)
+
+
+def _one_pool_pass(task, pending, jobs, config, initializer,
+                   results, done, label_of) -> str:
+    """One pool lifetime; returns ``ok`` / ``crashed`` / ``stalled`` /
+    ``pool-unavailable``.  Completed results are written into
+    *results* as they arrive, so a later verdict loses nothing."""
+    try:
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)), initializer=initializer)
+    except (OSError, ValueError, ImportError):
+        return "pool-unavailable"
+    futures = {}
+    verdict = "ok"
+    try:
+        try:
+            for index in pending:
+                futures[pool.submit(task, index)] = index
+        except (OSError, RuntimeError, BrokenProcessPool):
+            if not futures:
+                return "pool-unavailable"
+            verdict = "crashed"
+        not_done = set(futures)
+        last_progress = time.monotonic()
+        while not_done and verdict == "ok":
+            finished, not_done = wait(not_done, timeout=config.poll_s)
+            if finished:
+                last_progress = time.monotonic()
+            elif (time.monotonic() - last_progress
+                    > config.stall_timeout_s):
+                verdict = "stalled"
+                break
+            for future in finished:
+                index = futures[future]
+                try:
+                    results[index] = future.result()
+                except (BrokenProcessPool, CancelledError):
+                    verdict = "crashed"
+                    break
+                except Exception as exc:
+                    raise_task_error(exc, index, label_of)
+                done[index] = True
+        return verdict
+    finally:
+        # A broken/hung pool must not block the parent: abandon it.
+        pool.shutdown(wait=(verdict == "ok"), cancel_futures=True)

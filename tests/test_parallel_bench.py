@@ -60,11 +60,20 @@ def _reciprocal(x):
     return 1 // x
 
 
-def test_parallel_map_propagates_exceptions():
-    with pytest.raises(ZeroDivisionError):
-        parallel_map(_reciprocal, [0], jobs=1)
-    with pytest.raises(ZeroDivisionError):
-        parallel_map(_reciprocal, [1, 0], jobs=2)
+def test_parallel_map_raises_typed_worker_failures():
+    """Task failures are never silently swallowed (the old broad
+    handler could eat them on the pool path): they surface as typed
+    WorkerTaskError with the originating item attached and the real
+    exception chained, identically at every job count."""
+    from repro.errors import WorkerTaskError
+    for jobs in (1, 2):
+        with pytest.raises(WorkerTaskError) as info:
+            parallel_map(_reciprocal, [1, 0], jobs=jobs,
+                         label_of=lambda i: f"recip[x={[1, 0][i]}]")
+        assert isinstance(info.value.__cause__, ZeroDivisionError)
+        assert info.value.item_index == 1
+        assert info.value.point == "recip[x=0]"
+        assert info.value.kind == "worker-task"
 
 
 def test_workers_run_nested_maps_serially(monkeypatch):
