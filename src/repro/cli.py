@@ -12,6 +12,8 @@ inspects a kernel's translation without writing code:
     python -m repro fig3a --jobs 4             # parallel sweep evaluation
     python -m repro bench --jobs 2             # time engine vs reference
     python -m repro chaos -n 24 --seed 2008    # infrastructure chaos campaign
+    python -m repro trace fig8 --jobs 2        # figure + JSONL span trace
+    python -m repro stats TRACE_fig8.jsonl     # summarise a trace file
 """
 
 from __future__ import annotations
@@ -304,6 +306,25 @@ def main(argv: Optional[list[str]] = None) -> int:
                        help="skip the slow engine-off reference pass")
     bench.add_argument("--disk-cache", action="store_true",
                        help="attach the on-disk translation cache layer")
+    trace = sub.add_parser("trace",
+                           help="run one figure with span tracing on and "
+                                "write a JSONL trace file")
+    trace.add_argument("figure", choices=sorted(FIGURES),
+                       help="figure to run under tracing")
+    trace.add_argument("--output", "-o", default=None,
+                       help="trace file path (default benchmarks/results/"
+                            "TRACE_<figure>.jsonl)")
+    trace.add_argument("--jobs", "-j", type=int, default=None,
+                       help="worker processes for sweep fan-out "
+                            "(default: REPRO_JOBS or 1)")
+    stats = sub.add_parser("stats",
+                           help="summarise a JSONL trace/metrics dump")
+    stats.add_argument("path", nargs="?", default=None,
+                       help="trace file (default benchmarks/results/"
+                            "TRACE_fig8.jsonl)")
+    stats.add_argument("--strict", action="store_true",
+                       help="validate every record against the span "
+                            "schema; non-zero exit on violations")
     for name, (description, _fn) in FIGURES.items():
         fig = sub.add_parser(name, help=description)
         fig.add_argument("--output", "-o", default=None,
@@ -311,6 +332,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         fig.add_argument("--jobs", "-j", type=int, default=None,
                          help="worker processes for sweep fan-out "
                               "(default: REPRO_JOBS or 1)")
+        fig.add_argument("--trace", default=None, metavar="PATH",
+                         help="also write a JSONL span trace to PATH")
     args = parser.parse_args(argv)
 
     if getattr(args, "jobs", None) is not None:
@@ -339,6 +362,10 @@ def main(argv: Optional[list[str]] = None) -> int:
               f"(guarded runtime)")
         print(f"  {'chaos'.ljust(width)}  infrastructure-fault campaign "
               f"(experiment engine)")
+        print(f"  {'trace'.ljust(width)}  run a figure with span tracing "
+              f"(JSONL trace file)")
+        print(f"  {'stats'.ljust(width)}  summarise a JSONL trace/metrics "
+              f"dump")
         return 0
     if args.command == "kernels":
         print(cmd_kernels())
@@ -390,8 +417,61 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(format_bench(report))
         print(f"report written to {path}")
         return 0 if report.all_identical else 1
+    if args.command == "trace":
+        from repro import obs
+        path = args.output or os.path.join(
+            "benchmarks", "results", f"TRACE_{args.figure}.jsonl")
+        _description, fn = FIGURES[args.figure]
+        # The figure text goes to stdout exactly as an untraced run
+        # would print it (the byte-identical contract); the trace path
+        # note goes to stderr so piping the figure stays clean.
+        obs.start_trace(path)
+        try:
+            with obs.span("figure", component="cli", figure=args.figure):
+                text = fn()
+            obs.write_metrics_record()
+        finally:
+            obs.stop_trace()
+        print(text)
+        print(f"trace written to {path}", file=sys.stderr)
+        return 0
+    if args.command == "stats":
+        from repro.obs.schema import validate_trace_file
+        from repro.obs.stats import format_trace_stats, load_trace
+        path = args.path or os.path.join("benchmarks", "results",
+                                         "TRACE_fig8.jsonl")
+        records = load_trace(path)
+        if not records:
+            print(f"no trace records found in {path!r}", file=sys.stderr)
+            return 2
+        print(format_trace_stats(records, source=path))
+        if args.strict:
+            count, errors = validate_trace_file(path)
+            if errors:
+                print(f"{len(errors)} schema violation(s):",
+                      file=sys.stderr)
+                for err in errors[:20]:
+                    print(f"  {err}", file=sys.stderr)
+                return 1
+            print(f"{count} records schema-valid", file=sys.stderr)
+        return 0
     _description, fn = FIGURES[args.command]
-    text = fn()
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from repro import obs
+        obs.start_trace(trace_path)
+    try:
+        if trace_path:
+            from repro import obs
+            with obs.span("figure", component="cli", figure=args.command):
+                text = fn()
+            obs.write_metrics_record()
+        else:
+            text = fn()
+    finally:
+        if trace_path:
+            from repro import obs
+            obs.stop_trace()
     print(text)
     if args.output:
         with open(args.output, "w") as handle:

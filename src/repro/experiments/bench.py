@@ -27,7 +27,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Callable, Optional
 
-from repro import perf
+from repro import obs, perf
 
 #: The Figure 3/4 design-space sweeps — the acceptance target
 #: (>= 3x end-to-end vs. the reference serial path) aggregates these.
@@ -62,6 +62,9 @@ class BenchReport:
     disk_cache: bool
     cache_stats: dict
     machine: dict
+    #: Observability-registry snapshot taken when the run finished
+    #: (worker increments are merged back by ``parallel_map``).
+    metrics: dict = None
 
     @property
     def all_identical(self) -> bool:
@@ -74,10 +77,13 @@ def _figure_registry() -> dict[str, Callable[[], str]]:
             if name != "all"}
 
 
-def _timed(fn: Callable[[], str]) -> tuple[float, str]:
-    started = time.perf_counter()
-    text = fn()
-    return time.perf_counter() - started, text
+def _timed(fn: Callable[[], str], name: str = "",
+           mode: str = "") -> tuple[float, str]:
+    with obs.span("bench_figure", component="bench", figure=name,
+                  mode=mode):
+        started = time.perf_counter()
+        text = fn()
+        return time.perf_counter() - started, text
 
 
 def run_bench(figures: Optional[list[str]] = None,
@@ -118,7 +124,7 @@ def run_bench(figures: Optional[list[str]] = None,
                 for name in names:
                     note(f"{name}: reference (engine off, serial)")
                     reference_times[name], reference_texts[name] = \
-                        _timed(registry[name])
+                        _timed(registry[name], name, "reference")
         finally:
             perf.set_jobs(previous_jobs)
 
@@ -129,12 +135,13 @@ def run_bench(figures: Optional[list[str]] = None,
     engine_texts: dict[str, str] = {}
     for name in names:
         note(f"{name}: engine cold ({effective_jobs} jobs)")
-        engine_times[name], engine_texts[name] = _timed(registry[name])
+        engine_times[name], engine_texts[name] = \
+            _timed(registry[name], name, "cold")
 
     results: list[FigureBench] = []
     for name in names:
         note(f"{name}: engine warm")
-        warm_s, warm_text = _timed(registry[name])
+        warm_s, warm_text = _timed(registry[name], name, "warm")
         reference_s = reference_times.get(name)
         engine_s = engine_times[name]
         texts = [t for t in (reference_texts.get(name),
@@ -167,6 +174,7 @@ def run_bench(figures: Optional[list[str]] = None,
             "platform": platform.platform(),
             "python": platform.python_version(),
         },
+        metrics=obs.metrics_snapshot(),
     )
 
 
@@ -187,6 +195,7 @@ def write_report(report: BenchReport,
         "disk_cache": report.disk_cache,
         "cache_stats": report.cache_stats,
         "machine": report.machine,
+        "metrics": report.metrics or {},
     }
     directory = os.path.dirname(path)
     if directory:

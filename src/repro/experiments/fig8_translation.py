@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.accelerator.config import PROPOSED_LA, LAConfig
 from repro.experiments.common import format_table, fmt
 from repro.vm.costmodel import PHASES
@@ -25,7 +26,16 @@ class TranslationProfile:
 
     ``skipped`` tallies untranslatable loops by their typed failure kind
     (the :mod:`repro.errors` taxonomy) so the profile reports *why*
-    coverage is incomplete, not just that it is.
+    coverage is incomplete, not just that it is.  A benchmark whose
+    every loop failed translation still yields a profile — with
+    ``loops=0``, all-zero phase data and its ``skipped`` tally intact —
+    rather than vanishing from the report with its failure counts.
+
+    ``phase_totals`` keeps the *unrounded* per-phase instruction sums in
+    loop order: the translate spans in a trace file carry the same
+    per-loop values, so a trace reconciles with the figure exactly (the
+    default phase weights are integral, making every value and sum an
+    exactly-representable float).
     """
 
     benchmark: str
@@ -33,37 +43,59 @@ class TranslationProfile:
     avg_instructions: float
     phase_instructions: dict[str, float] = field(default_factory=dict)
     skipped: dict[str, int] = field(default_factory=dict)
+    phase_totals: dict[str, float] = field(default_factory=dict)
+
+
+def _profile_one_benchmark(payload) -> TranslationProfile:
+    """Translate one benchmark's loops (pool-worker task).
+
+    Consumes the translator's own ``translate`` spans — captured
+    in-process via :func:`repro.obs.collect`, no file sink needed —
+    instead of reading meters directly, so the figure is built from the
+    same records a trace file would carry.
+    """
+    bench, config, options = payload
+    totals = {p: 0.0 for p in PHASES}
+    count = 0
+    skipped: dict[str, int] = {}
+    with obs.span("profile_benchmark", component="fig8",
+                  benchmark=bench.name) as bsp:
+        for loop in bench.kernels:
+            with obs.collect() as log:
+                translate_loop(loop, config, options)
+            details = log.latest(name="translate",
+                                 component="translator")["details"]
+            if not details["attrs"].get("ok"):
+                kind = details["attrs"].get("failure_kind") or "unknown"
+                skipped[kind] = skipped.get(kind, 0) + 1
+                continue
+            count += 1
+            for phase, instrs in details.get("instructions", {}).items():
+                totals[phase] += instrs
+        if bsp:
+            bsp.set(loops=count, skipped=sum(skipped.values()))
+    return TranslationProfile(
+        benchmark=bench.name, loops=count,
+        avg_instructions=sum(totals.values()) / count if count else 0.0,
+        phase_instructions={p: (v / count if count else 0.0)
+                            for p, v in totals.items()},
+        skipped=skipped,
+        phase_totals=dict(totals),
+    )
 
 
 def run_translation_profile(
         benchmarks: Optional[list[Benchmark]] = None,
         config: LAConfig = PROPOSED_LA,
         options: TranslationOptions = TranslationOptions(),
+        jobs: Optional[int] = None,
 ) -> list[TranslationProfile]:
+    from repro.perf.parallel import parallel_map
+
     benches = media_fp_benchmarks() if benchmarks is None else benchmarks
-    profiles: list[TranslationProfile] = []
-    for bench in benches:
-        totals = {p: 0.0 for p in PHASES}
-        count = 0
-        skipped: dict[str, int] = {}
-        for loop in bench.kernels:
-            result = translate_loop(loop, config, options)
-            if not result.ok:
-                kind = result.failure_kind or "unknown"
-                skipped[kind] = skipped.get(kind, 0) + 1
-                continue
-            count += 1
-            for phase, instrs in result.meter.instructions().items():
-                totals[phase] += instrs
-        if count == 0:
-            continue
-        profiles.append(TranslationProfile(
-            benchmark=bench.name, loops=count,
-            avg_instructions=sum(totals.values()) / count,
-            phase_instructions={p: v / count for p, v in totals.items()},
-            skipped=skipped,
-        ))
-    return profiles
+    payloads = [(bench, config, options) for bench in benches]
+    return parallel_map(_profile_one_benchmark, payloads, jobs=jobs,
+                        label_of=lambda i: benches[i].name)
 
 
 def suite_average(profiles: list[TranslationProfile]) -> dict[str, float]:
@@ -88,12 +120,16 @@ def format_translation(profiles: list[TranslationProfile]) -> str:
     total = sum(avg.values())
     rows.append(["AVERAGE", "", f"{total:,.0f}"]
                 + [f"{avg[p]:,.0f}" for p in PHASES])
-    shares = (f"\npriority share {fmt(100 * avg['priority'] / total, 1)}% "
-              f"(paper 69%), CCA share {fmt(100 * avg['cca'] / total, 1)}% "
-              f"(paper 20%), ResMII+RecMII "
-              f"{avg['resmii'] + avg['recmii']:,.0f} (paper ~1,250), "
-              f"scheduling+regalloc "
-              f"{avg['scheduling'] + avg['regalloc']:,.0f} (paper ~9,650)")
+    if total > 0:
+        shares = (
+            f"\npriority share {fmt(100 * avg['priority'] / total, 1)}% "
+            f"(paper 69%), CCA share {fmt(100 * avg['cca'] / total, 1)}% "
+            f"(paper 20%), ResMII+RecMII "
+            f"{avg['resmii'] + avg['recmii']:,.0f} (paper ~1,250), "
+            f"scheduling+regalloc "
+            f"{avg['scheduling'] + avg['regalloc']:,.0f} (paper ~9,650)")
+    else:
+        shares = "\nno loops translated"
     skipped: dict[str, int] = {}
     for prof in profiles:
         for kind, n in prof.skipped.items():

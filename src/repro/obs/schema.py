@@ -1,0 +1,169 @@
+"""Schema for observability trace records (and its validator).
+
+Every line of a trace file is one JSON object with the shared envelope
+(the same shape as the PR-3 incident log, so the two formats
+interleave in one file):
+
+    seq        int >= 0     per-process emission counter
+    ts         number       unix wall-clock seconds
+    kind       str          "span" | "metrics" (incident kinds pass too)
+    component  str          emitting subsystem ("translator", "vm", ...)
+    message    str          short human-readable line
+    details    object       kind-specific payload
+
+``kind == "span"`` details:
+
+    name       str          span name ("translate", "front_end", ...)
+    pid        int          emitting process (span ids are per-process)
+    span       int >= 0     span id
+    parent     int | null   enclosing span's id (same pid), null at root
+    dur_s      number >= 0  wall-clock duration
+    attrs      object       free-form attributes (loop, config, error...)
+    units      object?      per-phase meter work units charged inside
+                            the span ({phase: int >= 0})
+    instructions object?    per-phase modelled instructions
+                            ({phase: number >= 0})
+
+``kind == "metrics"`` details:
+
+    pid        int
+    counters   object       {metric name: number}
+    gauges     object       {metric name: number}
+    histograms object       {metric name: {str(value): int >= 0}}
+
+The validator is deliberately structural, not semantic: it proves a
+file is machine-readable against this contract (the CI ``trace-smoke``
+job gates on it) without constraining which spans a pipeline emits.
+Unknown ``kind`` values (e.g. incident records sharing the file) only
+have their envelope checked.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.trace import METRICS_KIND, SPAN_KIND
+
+_ENVELOPE = (("seq", int), ("ts", (int, float)), ("kind", str),
+             ("component", str), ("message", str), ("details", dict))
+
+
+def _number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _phase_map(value: Any, integral: bool) -> bool:
+    if not isinstance(value, dict):
+        return False
+    for phase, amount in value.items():
+        if not isinstance(phase, str):
+            return False
+        if integral and not (isinstance(amount, int)
+                             and not isinstance(amount, bool)):
+            return False
+        if not integral and not _number(amount):
+            return False
+    return True
+
+
+def validate_record(obj: Any) -> list[str]:
+    """Schema violations in one parsed record ([] when valid)."""
+    if not isinstance(obj, dict):
+        return ["record is not a JSON object"]
+    errors: list[str] = []
+    for key, types in _ENVELOPE:
+        if key not in obj:
+            errors.append(f"missing envelope field {key!r}")
+        elif not isinstance(obj[key], types) or isinstance(obj[key], bool):
+            errors.append(f"envelope field {key!r} has type "
+                          f"{type(obj[key]).__name__}")
+    if errors:
+        return errors
+    if isinstance(obj["seq"], int) and obj["seq"] < 0:
+        errors.append("seq must be >= 0")
+    details = obj["details"]
+    if obj["kind"] == SPAN_KIND:
+        errors.extend(_validate_span(details))
+    elif obj["kind"] == METRICS_KIND:
+        errors.extend(_validate_metrics(details))
+    return errors
+
+
+def _validate_span(details: dict[str, Any]) -> list[str]:
+    errors: list[str] = []
+    if not isinstance(details.get("name"), str) or not details.get("name"):
+        errors.append("span details.name must be a non-empty string")
+    if not isinstance(details.get("pid"), int):
+        errors.append("span details.pid must be an int")
+    if not isinstance(details.get("span"), int) or details.get("span", -1) < 0:
+        errors.append("span details.span must be an int >= 0")
+    parent = details.get("parent", "missing")
+    if parent == "missing":
+        errors.append("span details.parent is required (may be null)")
+    elif parent is not None and not isinstance(parent, int):
+        errors.append("span details.parent must be an int or null")
+    if not _number(details.get("dur_s")) or details.get("dur_s", -1) < 0:
+        errors.append("span details.dur_s must be a number >= 0")
+    if not isinstance(details.get("attrs"), dict):
+        errors.append("span details.attrs must be an object")
+    if "units" in details and not _phase_map(details["units"],
+                                             integral=True):
+        errors.append("span details.units must map phase -> int")
+    if "instructions" in details and not _phase_map(
+            details["instructions"], integral=False):
+        errors.append("span details.instructions must map phase -> number")
+    return errors
+
+
+def _validate_metrics(details: dict[str, Any]) -> list[str]:
+    errors: list[str] = []
+    if not isinstance(details.get("pid"), int):
+        errors.append("metrics details.pid must be an int")
+    for key in ("counters", "gauges"):
+        table = details.get(key)
+        if not isinstance(table, dict) or not all(
+                isinstance(k, str) and _number(v)
+                for k, v in table.items()):
+            errors.append(f"metrics details.{key} must map name -> number")
+    hists = details.get("histograms")
+    if not isinstance(hists, dict):
+        errors.append("metrics details.histograms must be an object")
+    else:
+        for name, bucket in hists.items():
+            if not isinstance(name, str) or not isinstance(bucket, dict) \
+                    or not all(isinstance(k, str) and isinstance(v, int)
+                               and not isinstance(v, bool) and v >= 0
+                               for k, v in bucket.items()):
+                errors.append(f"metrics histogram {name!r} must map "
+                              f"str(value) -> count")
+    return errors
+
+
+def validate_trace_file(path: str) -> tuple[int, list[str]]:
+    """Strictly validate every line of *path*.
+
+    Returns ``(record_count, errors)`` where each error names its line
+    number.  Unlike the lenient runtime reader, an unparseable line
+    here IS an error — the CI job wants proof the file is clean.
+    """
+    import json
+
+    errors: list[str] = []
+    count = 0
+    try:
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    errors.append(f"line {lineno}: invalid JSON ({exc})")
+                    continue
+                count += 1
+                for problem in validate_record(obj):
+                    errors.append(f"line {lineno}: {problem}")
+    except OSError as exc:
+        return 0, [f"cannot read {path!r}: {exc}"]
+    return count, errors

@@ -1,0 +1,188 @@
+"""Summarise a JSONL trace/metrics dump (``python -m repro stats``).
+
+Aggregates span records by ``(component, name)`` — count, total and
+mean wall clock, total meter units — reduces the ``translate`` spans to
+the per-phase work/instruction totals that reconcile with the Figure 8
+table, and renders the final metrics snapshot.  Deliberately
+standalone: only the :mod:`repro.obs` package is imported, so a trace
+can be inspected without loading the experiment stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.obs.trace import METRICS_KIND, SPAN_KIND, iter_trace
+
+
+def load_trace(path: str) -> list[dict[str, Any]]:
+    """All parseable records of *path* (lenient, in file order)."""
+    return list(iter_trace(path))
+
+
+def span_records(records: Iterable[dict[str, Any]],
+                 name: Optional[str] = None,
+                 component: Optional[str] = None) -> list[dict[str, Any]]:
+    out = []
+    for record in records:
+        if record.get("kind") != SPAN_KIND:
+            continue
+        details = record.get("details", {})
+        if name is not None and details.get("name") != name:
+            continue
+        if component is not None and record.get("component") != component:
+            continue
+        out.append(record)
+    return out
+
+
+def phase_totals(records: Iterable[dict[str, Any]],
+                 name: str = "translate",
+                 component: str = "translator",
+                 ok_only: bool = True
+                 ) -> tuple[dict[str, int], dict[str, float]]:
+    """Per-phase (work units, modelled instructions) totals.
+
+    Only top-level ``translate`` spans are summed by default — their
+    nested phase spans carry the *same* units again, so summing every
+    span would double-count.  With ``ok_only`` (the default) failed
+    translations are excluded too, matching the Figure 8 convention of
+    averaging over translated loops only, so the totals reconcile
+    exactly with the figure table (the default phase weights are
+    integral, making every addend an exact float in any sum order).
+    """
+    units: dict[str, int] = {}
+    instructions: dict[str, float] = {}
+    for record in span_records(records, name=name, component=component):
+        details = record["details"]
+        if ok_only and not details.get("attrs", {}).get("ok"):
+            continue
+        for phase, amount in details.get("units", {}).items():
+            units[phase] = units.get(phase, 0) + amount
+        for phase, amount in details.get("instructions", {}).items():
+            instructions[phase] = instructions.get(phase, 0.0) + amount
+    return units, instructions
+
+
+def metrics_dump(records: Iterable[dict[str, Any]]
+                 ) -> Optional[dict[str, Any]]:
+    """The last metrics record's details (the trace CLI writes one)."""
+    dump = None
+    for record in records:
+        if record.get("kind") == METRICS_KIND:
+            dump = record.get("details")
+    return dump
+
+
+def _table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+           title: str = "") -> str:
+    """Minimal fixed-width table (obs stays free of repro.experiments)."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_trace_stats(records: list[dict[str, Any]],
+                       source: str = "") -> str:
+    """The ``python -m repro stats`` report for *records*."""
+    spans = span_records(records)
+    pids = {r["details"]["pid"] for r in spans
+            if isinstance(r.get("details", {}).get("pid"), int)}
+    header = (f"{len(records)} records ({len(spans)} spans, "
+              f"{len(pids)} process{'es' if len(pids) != 1 else ''})")
+    if source:
+        header += f" from {source}"
+    sections = [header]
+
+    # -- spans by (component, name) ---------------------------------------
+    grouped: dict[tuple[str, str], dict[str, Any]] = {}
+    for record in spans:
+        # Render leniently: a malformed record (strict validation will
+        # flag it separately) must not crash the report.
+        details = record.get("details") or {}
+        if not isinstance(details, dict):
+            continue
+        key = (record.get("component", ""),
+               str(details.get("name", "?")))
+        agg = grouped.setdefault(key, {"count": 0, "dur_s": 0.0,
+                                       "units": 0})
+        agg["count"] += 1
+        dur = details.get("dur_s", 0.0)
+        agg["dur_s"] += dur if isinstance(dur, (int, float)) \
+            and not isinstance(dur, bool) else 0.0
+        units = details.get("units", {})
+        if isinstance(units, dict):
+            agg["units"] += sum(v for v in units.values()
+                                if isinstance(v, (int, float)))
+    if grouped:
+        rows = []
+        for (component, name), agg in sorted(
+                grouped.items(), key=lambda kv: -kv[1]["dur_s"]):
+            mean_ms = 1000.0 * agg["dur_s"] / agg["count"]
+            rows.append([component, name, agg["count"],
+                         f"{agg['dur_s']:.3f}", f"{mean_ms:.2f}",
+                         f"{agg['units']:,}"])
+        sections.append(_table(
+            ["component", "span", "count", "total [s]", "mean [ms]",
+             "meter units"],
+            rows, title="Spans"))
+
+    # -- per-phase translation totals -------------------------------------
+    units, instructions = phase_totals(records)
+    if units or instructions:
+        translates = span_records(records, name="translate",
+                                  component="translator")
+        failed = sum(1 for r in translates
+                     if not r["details"].get("attrs", {}).get("ok"))
+        phases = sorted(set(units) | set(instructions))
+        rows = [[phase, f"{units.get(phase, 0):,}",
+                 f"{instructions.get(phase, 0.0):,.0f}"]
+                for phase in phases]
+        rows.append(["TOTAL", f"{sum(units.values()):,}",
+                     f"{sum(instructions.values()):,.0f}"])
+        title = (f"Translation phases ({len(translates) - failed} ok "
+                 f"'translate' spans; {failed} failed excluded)")
+        sections.append(_table(
+            ["phase", "work units", "modelled instructions"], rows,
+            title=title))
+
+    # -- metrics snapshot --------------------------------------------------
+    dump = metrics_dump(records)
+    if dump:
+        counters = dump.get("counters", {})
+        if counters:
+            rows = [[name, f"{counters[name]:,}"]
+                    for name in sorted(counters)]
+            sections.append(_table(["counter", "value"], rows,
+                                   title="Metrics: counters"))
+        hists = dump.get("histograms", {})
+        if hists:
+            rows = []
+            for name in sorted(hists):
+                bucket = {float(value): n
+                          for value, n in hists[name].items()}
+                count = sum(bucket.values())
+                total = sum(value * n for value, n in bucket.items())
+                rows.append([name, count, f"{min(bucket):g}",
+                             f"{max(bucket):g}",
+                             f"{total / count:.2f}" if count else "-"])
+            sections.append(_table(
+                ["histogram", "count", "min", "max", "mean"], rows,
+                title="Metrics: histograms"))
+        gauges = dump.get("gauges", {})
+        if gauges:
+            rows = [[name, f"{gauges[name]:g}"] for name in sorted(gauges)]
+            sections.append(_table(["gauge", "value"], rows,
+                                   title="Metrics: gauges"))
+
+    return "\n\n".join(sections)

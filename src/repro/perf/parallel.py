@@ -34,7 +34,7 @@ import os
 import pickle
 from typing import Callable, Optional, Sequence, TypeVar
 
-from repro import perf
+from repro import obs, perf
 from repro.resilience.incidents import record_incident
 from repro.resilience.supervisor import (
     SupervisorConfig,
@@ -69,13 +69,20 @@ class _Instrumented:
         infra.maybe_kill_worker(index)
         in_worker = bool(os.environ.get(perf.IN_WORKER_ENV))
         before = perf.counter_snapshot()
+        obs_before = obs.metrics_snapshot()
         result = self.fn(self.items[index])
         # When the supervisor degraded to running this task in the
         # parent, its increments are already in the parent's stats —
-        # report a zero delta so they are not merged twice.
-        delta = (perf.counter_delta(before) if in_worker
-                 else {name: 0 for name in perf.COUNTER_FIELDS})
-        return result, delta
+        # report a zero delta so they are not merged twice.  The same
+        # applies to the obs metrics registry (fork-inherited state is
+        # subtracted out by the before/after delta).
+        if in_worker:
+            delta = perf.counter_delta(before)
+            obs_delta = obs.metrics_delta(obs_before)
+        else:
+            delta = {name: 0 for name in perf.COUNTER_FIELDS}
+            obs_delta = obs.empty_delta()
+        return result, delta, obs_delta
 
 
 def parallel_map(fn: Callable[[T], R], items: Sequence[T],
@@ -107,11 +114,15 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
             f"payload not picklable ({type(exc).__name__}); running "
             f"{len(items)} items serially", items=len(items))
         return _serial(fn, items, label_of)
-    pairs = supervised_map(task, len(items), jobs, config=supervision,
-                           initializer=_worker_init, label_of=label_of)
-    for _result, delta in pairs:
+    triples = supervised_map(task, len(items), jobs, config=supervision,
+                             initializer=_worker_init, label_of=label_of)
+    # Merge strictly in item order: obs histogram/counter folding is
+    # commutative, but a fixed order makes the aggregate reproducible
+    # byte-for-byte at any job count and completion order.
+    for _result, delta, obs_delta in triples:
         perf.merge_counters(delta)
-    return [result for result, _delta in pairs]
+        obs.merge_metrics(obs_delta)
+    return [result for result, _delta, _obs in triples]
 
 
 def _serial(fn: Callable[[T], R], items: Sequence[T],

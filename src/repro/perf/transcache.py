@@ -37,6 +37,7 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.errors import CacheConfigError, CacheIntegrityError
 
 DEFAULT_DISK_DIR = os.path.join("benchmarks", "results", ".cache")
@@ -269,14 +270,18 @@ class TranslationCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.stats.hits += 1
+            obs.inc("transcache.hits")
             return entry
         entry = self._disk_load(key)
         if entry is not None:
             self._entries[key] = entry
             self.stats.hits += 1
             self.stats.disk_hits += 1
+            obs.inc("transcache.hits")
+            obs.inc("transcache.disk_hits")
             return entry
         self.stats.misses += 1
+        obs.inc("transcache.misses")
         return None
 
     def peek(self, key: str) -> Optional[CoreEntry]:
@@ -296,6 +301,7 @@ class TranslationCache:
     def put(self, key: str, entry: CoreEntry) -> None:
         self._entries[key] = entry
         self.stats.stores += 1
+        obs.inc("transcache.stores")
         self._disk_store(key, entry)
 
     def invalidate(self, key: str) -> bool:
@@ -309,6 +315,7 @@ class TranslationCache:
                 pass
         if found:
             self.stats.invalidations += 1
+            obs.inc("transcache.invalidations")
         return found
 
     def clear(self) -> None:

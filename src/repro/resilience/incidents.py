@@ -83,6 +83,8 @@ class IncidentLog:
 
     def record(self, kind: str, component: str, message: str,
                **details: Any) -> Incident:
+        from repro import obs
+        obs.inc(f"incident.{kind}")
         with self._lock:
             incident = Incident(seq=len(self.incidents),
                                 ts=time.time(), kind=kind,

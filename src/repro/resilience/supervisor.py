@@ -35,6 +35,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from repro import obs
 from repro.errors import WorkerTaskError
 from repro.resilience.incidents import record_incident
 
@@ -152,6 +153,8 @@ def supervised_map(task: Callable[[int], object], count: int, jobs: int,
         attempt += 1
         remaining = sum(1 for i in range(count) if not done[i])
         salvaged = len(pending) - remaining
+        obs.inc("supervisor.pool_retries")
+        obs.inc("supervisor.items_salvaged", salvaged)
         kind = "worker-lost" if verdict == "crashed" else "worker-timeout"
         record_incident(
             kind, "parallel",

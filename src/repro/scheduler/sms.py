@@ -23,6 +23,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro import obs
 from repro.ir.dfg import DataflowGraph
 from repro.scheduler.mii import MIIResult, compute_mii, sched_resource
 from repro.scheduler.mrt import ModuloReservationTable
@@ -250,6 +251,7 @@ def modulo_schedule(dfg: DataflowGraph, schedulable: set[int],
     attempts: list[AttemptDiagnostic] = []
     for ii in range(mii, max_ii + 1):
         for order_kind, candidate in orders_for(ii):
+            obs.inc("scheduler.attempts")
             outcome = _try_schedule(dfg, normalise(candidate),
                                     candidate.earliest, ii, units, work)
             if isinstance(outcome, _PlacementFailure):
@@ -258,9 +260,13 @@ def modulo_schedule(dfg: DataflowGraph, schedulable: set[int],
                     failed_opid=outcome.failed_opid,
                     resource=outcome.resource, cause=outcome.cause))
                 continue
+            obs.inc("scheduler.schedules")
+            obs.observe("scheduler.attempts_per_ii", ii - mii + 1)
+            obs.observe("scheduler.ii", ii)
             return ModuloSchedule(ii=ii, times=outcome, units=dict(units),
                                   mii=mii, res_mii=mii_result.res_mii,
                                   rec_mii=mii_result.rec_mii)
+    obs.inc("scheduler.exhaustions")
     return ScheduleFailure(
         f"no feasible schedule up to maximum II {max_ii}", mii_result,
         attempts)

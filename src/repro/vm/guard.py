@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional
 
+from repro import obs
 from repro.accelerator.config import LAConfig
 from repro.accelerator.machine import KernelImage
 from repro.accelerator.pipeline_executor import OverlappedRun, execute_overlapped
@@ -208,6 +209,7 @@ def differential_check(image: KernelImage, memory: Memory,
     fast path is additionally verified against the reference op-by-op
     semantics (see :func:`interpreter_cross_check`).
     """
+    obs.inc("guard.diff_checks")
     mismatches: list[GuardMismatch] = []
     if cross_check_interpreter:
         mismatches.extend(interpreter_cross_check(image.loop, memory,
@@ -243,6 +245,8 @@ def differential_check(image: KernelImage, memory: Memory,
                 mismatches.append(GuardMismatch(
                     "memory", f"[{addr:#x}]: accelerator {got_v!r} != "
                               f"scalar {ref_v!r}"))
+    if mismatches:
+        obs.inc("guard.divergences")
     return DifferentialOutcome(
         verdict=GuardVerdict(ok=not mismatches, mismatches=mismatches),
         scalar_memory=scalar_mem, accel_memory=accel_mem,

@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.accelerator.config import LAConfig
 from repro.accelerator.machine import LoopAccelerator
 from repro.cpu.interpreter import standard_live_ins
@@ -186,6 +187,7 @@ class VirtualMachine:
         translation succeeds) so cycle counts come from real schedules
         over real data, not closed-form estimates.
         """
+        obs.inc("vm.loops")
         scalar_per_inv = self.pipeline.loop_cycles(loop)
         outcome = LoopOutcome(
             name=loop.name, accelerated=False, reason=None,
@@ -243,6 +245,7 @@ class VirtualMachine:
         outcome.stage_count = image.stage_count
         if run.total_cycles < scalar_per_inv:
             outcome.accelerated = True
+            obs.inc("vm.accelerated")
         else:
             outcome.reason = "acceleration not profitable"
         return outcome
@@ -252,6 +255,7 @@ class VirtualMachine:
     def _deoptimize(self, loop: Loop, outcome: LoopOutcome,
                     reason: str) -> None:
         """Fall back to scalar: drop the translation, record why."""
+        obs.inc("guard.deopts")
         self._translations.pop(loop.name, None)
         self.code_cache.invalidate(loop.name)
         if self.config.accelerator is not None:
@@ -277,6 +281,7 @@ class VirtualMachine:
             # only; speculative while-loops run unchecked.
             return False
         outcome.guard_checked = True
+        obs.inc("guard.checks")
         check = differential_check(
             image, memory, live_ins,
             cross_check_interpreter=self.config.guard.cross_check_interpreter)
@@ -321,6 +326,19 @@ class VirtualMachine:
 
     def run_benchmark(self, benchmark) -> AppRun:
         """Run a :class:`~repro.workloads.suite.Benchmark` end to end."""
+        accel = self.config.accelerator
+        with obs.span("run_benchmark", component="vm",
+                      benchmark=benchmark.name,
+                      config=accel.name if accel is not None
+                      else "scalar") as sp:
+            run = self._run_benchmark(benchmark)
+            if sp:
+                sp.set(accelerated=sum(1 for o in run.outcomes
+                                       if o.accelerated),
+                       loops=len(run.outcomes))
+            return run
+
+    def _run_benchmark(self, benchmark) -> AppRun:
         kernels = (benchmark.kernels if self.config.static_transforms_applied
                    else benchmark.untransformed())
         program: Program = linear_program(benchmark.name, kernels)

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro import obs
 from repro.accelerator.config import LAConfig
 from repro.accelerator.machine import KernelImage
 from repro.analysis.dependence import refine_memory_edges
@@ -181,8 +182,7 @@ def _front_end(loop: Loop, config: LAConfig, options: TranslationOptions,
         hit = perf.analysis_cache.get(cache_key)
         if hit is not None:
             outcome, payload, charges = hit
-            for phase, amount in charges.items():
-                meter.charge(phase, amount)
+            meter.replay(charges)
             if outcome == "fail":
                 raise payload
             return payload
@@ -243,8 +243,7 @@ def _cca_map(loop: Loop, dfg, part, streams, config: LAConfig,
         hit = perf.analysis_cache.get(cache_key)
         if hit is not None:
             payload, charges = hit
-            for phase, amount in charges.items():
-                meter.charge(phase, amount)
+            meter.replay(charges)
             return payload
 
     before = dict(meter.units)
@@ -288,7 +287,9 @@ def _translate_pipeline(loop: Loop, config: LAConfig,
     meter state the reference pipeline would have reported.
     """
     # Phases 1-2 (cached across configs; see _front_end).
-    dfg, streams, part = _front_end(loop, config, options, meter)
+    with obs.span("front_end", component="translator", meter=meter,
+                  loop=loop.name):
+        dfg, streams, part = _front_end(loop, config, options, meter)
     if streams.num_load_streams > config.load_streams:
         raise StreamLimitError(
             f"{streams.num_load_streams} load streams > "
@@ -303,26 +304,30 @@ def _translate_pipeline(loop: Loop, config: LAConfig,
             available=config.store_streams)
 
     # Phase 3: CCA mapping (cached across configs; see _cca_map).
-    mapped, dfg2, part2 = _cca_map(loop, dfg, part, streams, config,
-                                   options, meter)
+    with obs.span("cca_map", component="translator", meter=meter,
+                  loop=loop.name):
+        mapped, dfg2, part2 = _cca_map(loop, dfg, part, streams, config,
+                                       options, meter)
 
     # Phase 4: minimum II.
     units = config.units()
-    if options.use_static_mii and STATIC_MII_KEY in loop.annotations:
-        # "the VM could recover these values with two loads" — but the
-        # recovered ResMII reflects the architecture the COMPILER saw.
-        encoded = loop.annotations[STATIC_MII_KEY]
-        meter.charge("resmii", 1)
-        meter.charge("recmii", 1)
-        mii = MIIResult(res_mii=encoded["res"], rec_mii=encoded["rec"],
-                        per_resource={})
-    else:
-        res_mii, per_resource = compute_res_mii(
-            dfg2, part2.compute, units, meter.charger("resmii"))
-        rec_mii = compute_rec_mii(dfg2, part2.compute,
-                                  meter.charger("recmii"))
-        mii = MIIResult(res_mii=res_mii, rec_mii=rec_mii,
-                        per_resource=per_resource)
+    with obs.span("mii", component="translator", meter=meter,
+                  loop=loop.name):
+        if options.use_static_mii and STATIC_MII_KEY in loop.annotations:
+            # "the VM could recover these values with two loads" — but the
+            # recovered ResMII reflects the architecture the COMPILER saw.
+            encoded = loop.annotations[STATIC_MII_KEY]
+            meter.charge("resmii", 1)
+            meter.charge("recmii", 1)
+            mii = MIIResult(res_mii=encoded["res"], rec_mii=encoded["rec"],
+                            per_resource={})
+        else:
+            res_mii, per_resource = compute_res_mii(
+                dfg2, part2.compute, units, meter.charger("resmii"))
+            rec_mii = compute_rec_mii(dfg2, part2.compute,
+                                      meter.charger("recmii"))
+            mii = MIIResult(res_mii=res_mii, rec_mii=rec_mii,
+                            per_resource=per_resource)
     if not mii.feasible:
         missing = sorted(rc for rc, v in mii.per_resource.items()
                          if v >= 10 ** 9)
@@ -335,55 +340,63 @@ def _translate_pipeline(loop: Loop, config: LAConfig,
     # Phase 5: priority.
     priority: Optional[PriorityResult] = None
     if options.use_static_priority and STATIC_PRIORITY_KEY in loop.annotations:
-        ranks: dict[int, int] = loop.annotations[STATIC_PRIORITY_KEY]
-        effective: dict[int, int] = {}
-        for opid in part2.compute:
-            op = mapped.op(opid)
-            if op.inner:
-                member_ranks = [ranks[m.opid] for m in op.inner
-                                if m.opid in ranks and ranks[m.opid] >= 0]
-                effective[opid] = min(member_ranks) if member_ranks else 0
-            else:
-                effective[opid] = ranks.get(opid, 10 ** 6)
-            meter.charge("priority", 1)  # one load per op (Figure 9(c))
-        order = sorted(part2.compute, key=lambda o: (effective[o], o))
-        priority = PriorityResult.from_order(order)
+        with obs.span("priority_calc", component="translator", meter=meter,
+                      loop=loop.name, kind="static"):
+            ranks: dict[int, int] = loop.annotations[STATIC_PRIORITY_KEY]
+            effective: dict[int, int] = {}
+            for opid in part2.compute:
+                op = mapped.op(opid)
+                if op.inner:
+                    member_ranks = [ranks[m.opid] for m in op.inner
+                                    if m.opid in ranks and ranks[m.opid] >= 0]
+                    effective[opid] = min(member_ranks) if member_ranks else 0
+                else:
+                    effective[opid] = ranks.get(opid, 10 ** 6)
+                meter.charge("priority", 1)  # one load per op (Figure 9(c))
+            order = sorted(part2.compute, key=lambda o: (effective[o], o))
+            priority = PriorityResult.from_order(order)
 
     # Phases 5 (dynamic case) + 6: priority and scheduling.  When no
     # static ranks exist, the scheduler recomputes the priority at each
     # candidate II (charged to the priority phase), exactly the work the
-    # static encoding is designed to eliminate.
-    result = modulo_schedule(
-        dfg2, part2.compute, units, config.max_ii,
-        priority=priority, priority_kind=options.priority_kind,
-        work=meter.charger("scheduling"),
-        priority_work=meter.charger("priority"),
-        mii_result=mii)
+    # static encoding is designed to eliminate — the span's meter-unit
+    # attribution splits the two phases even though one call does both.
+    with obs.span("schedule", component="translator", meter=meter,
+                  loop=loop.name, priority_kind=options.priority_kind):
+        result = modulo_schedule(
+            dfg2, part2.compute, units, config.max_ii,
+            priority=priority, priority_kind=options.priority_kind,
+            work=meter.charger("scheduling"),
+            priority_work=meter.charger("priority"),
+            mii_result=mii)
     if isinstance(result, ScheduleFailure):
         raise SchedulingError(result.reason, loop_name=loop.name,
                               schedule_failure=result)
     schedule = result
 
     # Phase 7: register assignment.
-    registers = register_requirements(mapped, dfg2, schedule, part2,
-                                      meter.charger("regalloc"))
-    if requirements_hook is not None:
-        requirements_hook(registers)
-    if capacity_check and \
-            not fits(registers, config.num_int_regs, config.num_fp_regs):
-        raise RegisterPressureError(
-            f"register demand (int {registers.int_regs}, fp "
-            f"{registers.fp_regs}) exceeds the register files",
-            loop_name=loop.name,
-            int_required=registers.int_regs, fp_required=registers.fp_regs,
-            int_available=config.num_int_regs,
-            fp_available=config.num_fp_regs)
+    with obs.span("regalloc", component="translator", meter=meter,
+                  loop=loop.name):
+        registers = register_requirements(mapped, dfg2, schedule, part2,
+                                          meter.charger("regalloc"))
+        if requirements_hook is not None:
+            requirements_hook(registers)
+        if capacity_check and \
+                not fits(registers, config.num_int_regs, config.num_fp_regs):
+            raise RegisterPressureError(
+                f"register demand (int {registers.int_regs}, fp "
+                f"{registers.fp_regs}) exceeds the register files",
+                loop_name=loop.name,
+                int_required=registers.int_regs,
+                fp_required=registers.fp_regs,
+                int_available=config.num_int_regs,
+                fp_available=config.num_fp_regs)
 
-    # Modulo variable expansion: place every cross-stage value's
-    # copies into physical registers (part of the register-assignment
-    # postpass; validated by the rotation tests).
-    rotation = assign_physical(mapped, dfg2, schedule, part2)
-    meter.charge("regalloc", len(rotation.ranges) + 1)
+        # Modulo variable expansion: place every cross-stage value's
+        # copies into physical registers (part of the register-assignment
+        # postpass; validated by the rotation tests).
+        rotation = assign_physical(mapped, dfg2, schedule, part2)
+        meter.charge("regalloc", len(rotation.ranges) + 1)
 
     image = KernelImage(loop=mapped, dfg=dfg2, partition=part2,
                         schedule=schedule, streams=streams,
@@ -641,14 +654,29 @@ def translate_loop(loop: Loop, config: LAConfig,
     bypass the cache entirely.
     """
     from repro import perf
-    if not perf.engine_enabled() or options.deadline_s is not None:
-        meter = TranslationMeter(budget_units=options.work_budget,
-                                 deadline_s=options.deadline_s)
-        try:
-            return _translate_pipeline(loop, config, options, meter)
-        except TranslationBudgetExceeded as exc:
-            exc.loop_name = loop.name
-            return TranslationResult(loop.name, None, exc, meter)
-        except TranslationError as exc:
-            return TranslationResult(loop.name, None, exc, meter)
-    return _finalize(loop, config, _cached_core(loop, config, options))
+    sp = obs.span("translate", component="translator", loop=loop.name,
+                  config=config.name)
+    with sp:
+        if not perf.engine_enabled() or options.deadline_s is not None:
+            meter = TranslationMeter(budget_units=options.work_budget,
+                                     deadline_s=options.deadline_s)
+            try:
+                result = _translate_pipeline(loop, config, options, meter)
+            except TranslationBudgetExceeded as exc:
+                exc.loop_name = loop.name
+                result = TranslationResult(loop.name, None, exc, meter)
+            except TranslationError as exc:
+                result = TranslationResult(loop.name, None, exc, meter)
+        else:
+            result = _finalize(loop, config,
+                               _cached_core(loop, config, options))
+        obs.inc("translator.translations")
+        obs.inc("translator.ok" if result.ok
+                else f"translator.failed.{result.failure_kind}")
+        for phase, units in result.meter.units.items():
+            obs.inc(f"translator.units.{phase}", units)
+        if sp:
+            sp.set(ok=result.ok, failure_kind=result.failure_kind,
+                   units=dict(result.meter.units),
+                   instructions=result.meter.instructions())
+        return result

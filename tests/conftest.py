@@ -15,6 +15,22 @@ def proposed_la():
     return PROPOSED_LA
 
 
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Isolate every test from leaked trace sinks and metric counts.
+
+    Clears the process-global metrics registry and drops any tracer
+    (including a ``REPRO_TRACE`` env leak from a prior test) both
+    before and after each test.
+    """
+    from repro import obs
+    obs.reset_metrics()
+    obs.reset_tracing()
+    yield
+    obs.reset_metrics()
+    obs.reset_tracing()
+
+
 def seeded_memory(loop, seed=7, int_range=(-100, 100), fp_range=(-8.0, 8.0)):
     """Fresh memory with arrays allocated and filled deterministically."""
     memory = Memory()

@@ -52,3 +52,53 @@ def test_figure_command_runs_and_writes(tmp_path, capsys):
 def test_translate_command_via_main(capsys):
     assert main(["translate", "daxpy"]) == 0
     assert "II=" in capsys.readouterr().out
+
+
+def test_trace_command_writes_figure_and_trace(tmp_path, capsys):
+    trace_file = tmp_path / "trace.jsonl"
+    assert main(["trace", "fig2", "--output", str(trace_file)]) == 0
+    captured = capsys.readouterr()
+    assert "modulo%" in captured.out          # the figure, untouched
+    assert str(trace_file) in captured.err    # the note, on stderr
+    from repro.obs.schema import validate_trace_file
+    count, errors = validate_trace_file(str(trace_file))
+    assert errors == []
+    assert count > 0
+
+
+def test_trace_matches_untraced_figure_text(tmp_path, capsys):
+    assert main(["fig2"]) == 0
+    plain = capsys.readouterr().out
+    assert main(["trace", "fig2", "--output",
+                 str(tmp_path / "t.jsonl")]) == 0
+    assert capsys.readouterr().out == plain
+
+
+def test_figure_trace_flag(tmp_path, capsys):
+    trace_file = tmp_path / "trace.jsonl"
+    assert main(["fig2", "--trace", str(trace_file)]) == 0
+    assert trace_file.exists()
+    assert "modulo%" in capsys.readouterr().out
+
+
+def test_stats_command(tmp_path, capsys):
+    trace_file = tmp_path / "trace.jsonl"
+    assert main(["trace", "fig2", "--output", str(trace_file)]) == 0
+    capsys.readouterr()
+    assert main(["stats", "--strict", str(trace_file)]) == 0
+    captured = capsys.readouterr()
+    assert "Spans" in captured.out
+    assert "schema-valid" in captured.err
+
+
+def test_stats_missing_file(tmp_path, capsys):
+    assert main(["stats", str(tmp_path / "absent.jsonl")]) == 2
+    assert "no trace records" in capsys.readouterr().err
+
+
+def test_stats_strict_rejects_bad_records(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"seq": 0, "ts": 1.0, "kind": "span", '
+                   '"component": "c", "message": "m", "details": {}}\n')
+    assert main(["stats", "--strict", str(bad)]) == 1
+    assert "schema violation" in capsys.readouterr().err

@@ -1,0 +1,80 @@
+"""Figure 8 profile coverage: benchmarks whose loops all fail.
+
+A benchmark whose every loop fails translation used to be dropped from
+the profile list entirely (``continue``), discarding its ``skipped``
+failure tally — the figure then reported complete coverage it did not
+have.  It must instead yield a zero-loop profile carrying the tally.
+"""
+
+from __future__ import annotations
+
+from repro.accelerator.config import PROPOSED_LA
+from repro.experiments.fig8_translation import (
+    TranslationProfile,
+    format_translation,
+    run_translation_profile,
+    suite_average,
+)
+from repro.vm.costmodel import PHASES
+from repro.workloads.suite import media_fp_benchmarks
+
+#: No memory streams at all: every loop that touches memory fails
+#: translation with a stream-limit failure.
+NO_STREAMS = PROPOSED_LA.with_(load_streams=0, store_streams=0,
+                               load_addr_gens=0, store_addr_gens=0)
+
+
+def test_all_loops_skipped_benchmark_keeps_its_profile():
+    bench = media_fp_benchmarks()[0]
+    profiles = run_translation_profile(benchmarks=[bench],
+                                       config=NO_STREAMS)
+    assert len(profiles) == 1
+    prof = profiles[0]
+    assert prof.benchmark == bench.name
+    assert prof.loops == 0
+    assert prof.avg_instructions == 0.0
+    assert all(prof.phase_instructions[p] == 0.0 for p in PHASES)
+    # The whole point of the fix: the failure tally survives.
+    assert sum(prof.skipped.values()) == len(bench.kernels)
+    assert "stream-limit" in prof.skipped
+
+
+def test_all_loops_skipped_formats_without_error():
+    bench = media_fp_benchmarks()[0]
+    profiles = run_translation_profile(benchmarks=[bench],
+                                       config=NO_STREAMS)
+    text = format_translation(profiles)
+    assert "untranslated loops by failure kind" in text
+    assert "stream-limit" in text
+    assert "no loops translated" in text
+
+
+def test_mixed_suite_keeps_zero_loop_profiles_in_order():
+    benches = media_fp_benchmarks()[:3]
+    profiles = run_translation_profile(benchmarks=benches,
+                                       config=NO_STREAMS)
+    assert [p.benchmark for p in profiles] == [b.name for b in benches]
+
+
+def test_suite_average_tolerates_zero_loop_profiles():
+    dead = TranslationProfile(
+        benchmark="dead", loops=0, avg_instructions=0.0,
+        phase_instructions={p: 0.0 for p in PHASES},
+        skipped={"stream-limit": 2})
+    live = TranslationProfile(
+        benchmark="live", loops=2, avg_instructions=10.0,
+        phase_instructions={p: (10.0 if p == "priority" else 0.0)
+                            for p in PHASES})
+    avg = suite_average([dead, live])
+    assert avg["priority"] == 10.0  # dead contributes no weight
+
+
+def test_successful_profile_carries_exact_phase_totals():
+    bench = media_fp_benchmarks()[0]
+    profiles = run_translation_profile(benchmarks=[bench])
+    (prof,) = profiles
+    assert prof.loops > 0
+    import pytest
+    for phase in PHASES:
+        assert prof.phase_totals[phase] == pytest.approx(
+            prof.phase_instructions[phase] * prof.loops)
