@@ -10,7 +10,8 @@ translation overheads that motivate the hybrid static/dynamic design.
 Run:  python examples/adpcm_codec.py
 """
 
-from repro import ARM11, PROPOSED_LA, TranslationOptions, VMConfig, VirtualMachine
+from repro import PROPOSED_LA, TranslationOptions
+from repro.api import Session
 from repro.experiments.common import annotate_benchmark, format_table
 from repro.workloads.kernels import adpcm_decode, adpcm_encode
 from repro.workloads.suite import Benchmark
@@ -28,28 +29,28 @@ def make_codec_benchmark() -> Benchmark:
     )
 
 
-CONFIGS = [
-    ("scalar ARM11 (no accelerator)",
-     VMConfig(cpu=ARM11, accelerator=None), False),
-    ("VEAL, no translation penalty",
-     VMConfig(cpu=ARM11, accelerator=PROPOSED_LA,
-              charge_translation=False), False),
-    ("VEAL, fully dynamic translation",
-     VMConfig(cpu=ARM11, accelerator=PROPOSED_LA,
-              options=TranslationOptions.fully_dynamic()), False),
-    ("VEAL, static CCA + priority (hybrid)",
-     VMConfig(cpu=ARM11, accelerator=PROPOSED_LA,
-              options=TranslationOptions.hybrid()), True),
-]
+# Each system configuration is a repro.api.Session; an explicit
+# ``accelerator=None`` models the scalar-only machine.
+def make_configs():
+    return [
+        ("scalar ARM11 (no accelerator)",
+         Session(accelerator=None), False),
+        ("VEAL, no translation penalty",
+         Session(charge_translation=False), False),
+        ("VEAL, fully dynamic translation",
+         Session(options=TranslationOptions.fully_dynamic()), False),
+        ("VEAL, static CCA + priority (hybrid)",
+         Session(options=TranslationOptions.hybrid()), True),
+    ]
 
 
 def main() -> None:
     bench = make_codec_benchmark()
     baseline_cycles = None
     rows = []
-    for label, config, needs_annotations in CONFIGS:
+    for label, session, needs_annotations in make_configs():
         this_bench = annotate_benchmark(bench) if needs_annotations else bench
-        run = VirtualMachine(config).run_benchmark(this_bench)
+        run = session.run_benchmark(this_bench)
         if baseline_cycles is None:
             baseline_cycles = run.total_cycles
         rows.append((
@@ -62,9 +63,10 @@ def main() -> None:
         ["configuration", "total cycles", "translation cycles", "speedup"],
         rows, title="ADPCM codec (encode + decode, 48 frames of 2048)"))
 
-    # Per-loop details for the hybrid configuration.
-    config = CONFIGS[3][1]
-    run = VirtualMachine(config).run_benchmark(annotate_benchmark(bench))
+    # Per-loop details for the hybrid configuration (a fresh session,
+    # so the translation accounting starts cold like the table above).
+    session = Session(options=TranslationOptions.hybrid())
+    run = session.run_benchmark(annotate_benchmark(bench))
     print()
     print(format_table(
         ["loop", "II", "stages", "scalar cyc/frame", "accel cyc/frame",

@@ -11,8 +11,8 @@ Run:  python examples/design_space.py
 """
 
 from repro import INFINITE_LA, LAConfig, PROPOSED_LA, accelerator_area
+from repro.api import fraction_of_infinite
 from repro.experiments.common import format_table
-from repro.experiments.sweeps import fraction_of_infinite
 
 CANDIDATES: list[tuple[str, LAConfig]] = [
     ("minimal (1 int, 1 fp, no CCA)",

@@ -13,13 +13,12 @@ Run:  python examples/image_blur_nest.py
 
 import numpy as np
 
-from repro import ARM11, PROPOSED_LA
+from repro import ARM11, PROPOSED_LA, api
 from repro.accelerator import LoopAccelerator
 from repro.cpu import InOrderPipeline, Memory
 from repro.experiments.common import format_table
 from repro.ir import LoopBuilder, Reg
 from repro.ir.nest import LoopNest, execute_nest_accelerated, execute_nest_scalar
-from repro.vm import translate_loop
 
 
 def row_blur_kernel(cols: int, pitch: int, rows: int):
@@ -40,7 +39,7 @@ def run_shape(rows: int, cols: int):
     nest = LoopNest(name=f"blur_{rows}x{cols}", inner=inner,
                     outer_trips=rows,
                     live_in_steps={Reg("img"): pitch, Reg("out"): pitch})
-    result = translate_loop(inner, PROPOSED_LA)
+    result = api.translate(inner)
     assert result.ok, result.failure
 
     def fresh():

@@ -12,11 +12,10 @@ made of it.
 Run:  python examples/one_binary_many_machines.py
 """
 
-from repro import ARM11, PROPOSED_LA, TranslationOptions
+from repro import ARM11, PROPOSED_LA, TranslationOptions, api
 from repro.cpu import InOrderPipeline
 from repro.experiments.common import format_table
 from repro.isa import annotate_for_veal, decode_loop, encode_loop
-from repro.vm import translate_loop
 from repro.workloads.kernels import gf_mult
 
 MACHINES = [
@@ -45,8 +44,8 @@ def main() -> None:
             rows.append((label, "-", "-", "-",
                          f"{scalar_cycles:,.0f}", "1.00x"))
             continue
-        result = translate_loop(shipped, config,
-                                TranslationOptions.hybrid())
+        result = api.translate(shipped, config,
+                               TranslationOptions.hybrid())
         if not result.ok:
             rows.append((label, "rejected", "-", "-",
                          f"{scalar_cycles:,.0f}", "1.00x"))

@@ -13,11 +13,10 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import ARM11, Interpreter, LoopBuilder, Memory, PROPOSED_LA
+from repro import ARM11, Interpreter, LoopBuilder, Memory, PROPOSED_LA, api
 from repro.accelerator import LoopAccelerator
 from repro.cpu import InOrderPipeline, standard_live_ins
 from repro.scheduler import ModuloReservationTable, sched_resource
-from repro.vm import translate_loop
 
 TAPS = 8
 N = 256
@@ -44,8 +43,8 @@ def main() -> None:
     print("=== the loop, in the baseline instruction set ===")
     print(loop.dump())
 
-    # --- translate for the proposed accelerator -------------------------
-    result = translate_loop(loop, PROPOSED_LA)
+    # --- translate for the proposed accelerator (repro.api) -------------
+    result = api.translate(loop)
     assert result.ok, result.failure
     image = result.image
     print(f"\n=== translation ===")

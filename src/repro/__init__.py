@@ -4,14 +4,16 @@ Reproduces Clark, Hormati & Mahlke, ISCA 2008: a generalized loop
 accelerator plus a co-designed virtual machine that dynamically modulo
 schedules baseline-ISA loops onto whatever accelerator is present.
 
-Quick start::
+Quick start (the stable facade — see ``repro.api``)::
 
-    from repro import PROPOSED_LA, translate_loop
-    from repro.workloads import kernels
+    import repro
 
-    loop = kernels.fir_filter(taps=8)
-    result = translate_loop(loop, PROPOSED_LA)
+    loop = repro.workloads.kernels.fir_filter(taps=8)
+    result = repro.translate(loop)            # proposed LA by default
     print(result.image.ii, result.image.stage_count)
+
+    session = repro.Session()                 # shared cache across calls
+    outcome = session.run_loop(loop)          # translate + execute + time
 
 Package map:
     ``repro.ir``          — baseline RISC IR, DFG, CFG, loop builder
@@ -28,6 +30,11 @@ Package map:
     ``repro.faults``      — seeded fault-injection campaigns
     ``repro.workloads``   — kernels, benchmark suite, loop generator
     ``repro.experiments`` — one module per paper figure/table
+    ``repro.api``         — the stable facade (Session, Settings, ...)
+    ``repro.service``     — long-running multi-session loop service
+    ``repro.obs``         — span tracing + process-wide metrics
+    ``repro.perf``        — experiment engine (caches, parallel sweeps)
+    ``repro.resilience``  — incidents, crash-safe cache, supervision
 """
 
 from repro.accelerator import (
@@ -39,7 +46,13 @@ from repro.accelerator import (
     accelerator_area,
 )
 from repro.cpu import ARM11, CORTEX_A8, QUAD_ISSUE, Interpreter, Memory
-from repro.errors import ReproError, TranslationError
+from repro.errors import (
+    ReproError,
+    ServiceError,
+    ServiceOverload,
+    SettingsError,
+    TranslationError,
+)
 from repro.ir import Loop, LoopBuilder, Opcode, build_dfg
 from repro.vm import (
     GuardConfig,
@@ -50,12 +63,42 @@ from repro.vm import (
     translate_loop,
 )
 
-__version__ = "1.1.0"
+# The stable facade (and the submodules it composes: ``repro.obs`` /
+# ``repro.perf`` come in as side effects of the ``repro.vm`` import
+# above, so re-exporting the api costs no extra import work).
+from repro import obs, perf, workloads
+from repro.api import (
+    Session,
+    Settings,
+    figures,
+    run_figure,
+    run_loop,
+    run_suite,
+    sweep,
+    translate,
+)
+from repro.resilience.incidents import incident_log, record_incident
+
+__version__ = "1.2.0"
 
 __all__ = [
     "ARM11", "CORTEX_A8", "GuardConfig", "GuardedExecutor", "INFINITE_LA",
     "Interpreter", "KernelImage", "LAConfig", "Loop", "LoopAccelerator",
     "LoopBuilder", "Memory", "Opcode", "PROPOSED_LA", "QUAD_ISSUE",
-    "ReproError", "TranslationError", "TranslationOptions", "VMConfig",
-    "VirtualMachine", "accelerator_area", "build_dfg", "translate_loop",
+    "ReproError", "ServiceError", "ServiceOverload", "Session",
+    "Settings", "SettingsError", "TranslationError", "TranslationOptions",
+    "VMConfig", "VirtualMachine", "accelerator_area", "build_dfg",
+    "figures", "incident_log", "obs", "perf", "record_incident",
+    "run_figure", "run_loop", "run_suite", "service", "sweep",
+    "translate", "translate_loop", "workloads",
 ]
+
+
+def __getattr__(name: str):
+    # ``repro.service`` stays a lazy attribute: the service pulls in
+    # concurrent.futures/multiprocessing machinery that plain library
+    # use (and every forked pool worker) should not pay for.
+    if name == "service":
+        import repro.service as service
+        return service
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,307 @@
+"""``repro.api`` — the stable programmatic surface of the reproduction.
+
+Every way of driving the system from outside — examples, the CLI, the
+loop-acceleration service (:mod:`repro.service`), tests, notebooks —
+goes through this one facade instead of reaching into the internals
+(``vm.runtime``, ``experiments.*``, ``perf.parallel``):
+
+* :class:`Settings` — one consolidated, validated configuration object
+  for the whole stack (worker count, engine switch, disk cache, trace
+  sink, incident log), loadable from the environment with
+  :meth:`Settings.from_env`;
+* :class:`Session` — a configured (accelerator, options, CPU, guard)
+  context with ``translate`` / ``run_loop`` / ``run_suite`` methods;
+* module-level :func:`translate`, :func:`run_loop`, :func:`run_suite`,
+  :func:`sweep`, :func:`fraction_of_infinite`, :func:`run_figure` —
+  one-shot conveniences over a default session.
+
+The facade adds no behaviour of its own: results are byte-identical to
+calling the underlying layers directly, which is what lets the service
+path and the serial reference path be compared bit for bit.  The old
+scattered helpers remain as :class:`DeprecationWarning` shims.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.accelerator.config import LAConfig
+from repro.cpu.pipeline import ARM11, CPUConfig
+from repro.errors import SettingsError
+from repro.vm.guard import GuardConfig
+from repro.vm.runtime import AppRun, LoopOutcome, VMConfig, VirtualMachine
+from repro.vm.translator import (
+    TranslationOptions,
+    TranslationResult,
+    translate_loop,
+)
+
+#: The env vars :meth:`Settings.from_env` consolidates, in one place.
+JOBS_ENV = "REPRO_JOBS"
+ENGINE_ENV = "REPRO_ENGINE"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+TRACE_ENV = "REPRO_TRACE"
+INCIDENT_LOG_ENV = "REPRO_INCIDENT_LOG"
+
+
+def _default_accelerator() -> LAConfig:
+    from repro.accelerator import PROPOSED_LA
+    return PROPOSED_LA
+
+
+#: Sentinel distinguishing "not specified" (the proposed design) from an
+#: explicit ``accelerator=None`` (a scalar-only machine) in `Session`.
+_PROPOSED = object()
+
+
+@dataclass(frozen=True)
+class Settings:
+    """One validated configuration for the whole stack.
+
+    Replaces the scattered knobs (``REPRO_CACHE_DIR`` handling in the
+    CLI, ``perf.set_jobs`` calls, ``REPRO_TRACE``/``REPRO_INCIDENT_LOG``
+    read in three different modules) with a single object the service,
+    the CLI and the tests all construct the same way.  :meth:`apply`
+    pushes the values into the global switches; nothing is applied at
+    construction time, so a ``Settings`` is inert data until then.
+    """
+
+    #: Worker processes experiment fan-out may use (1 = serial).
+    jobs: int = 1
+    #: Whether the compiled/cached fast paths are active.
+    engine: bool = True
+    #: On-disk translation-cache directory (None = memory-only).
+    cache_dir: Optional[str] = None
+    #: JSONL span-trace sink (None = tracing off).
+    trace_path: Optional[str] = None
+    #: JSONL incident-log sink (None = in-memory only).
+    incident_log: Optional[str] = None
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None, *,
+                 jobs: Optional[int | str] = None,
+                 engine: Optional[bool] = None,
+                 cache_dir: Optional[str] = None,
+                 trace_path: Optional[str] = None,
+                 incident_log: Optional[str] = None) -> "Settings":
+        """Load settings from *environ* (default ``os.environ``).
+
+        Explicit keyword overrides (e.g. a ``--jobs`` CLI flag) win
+        over the environment.  Invalid values raise
+        :class:`~repro.errors.SettingsError` naming the offending
+        variable — a typo must fail loudly at startup, not silently
+        fall back to a default.
+        """
+        env = os.environ if environ is None else environ
+        if jobs is not None:
+            job_count = cls._parse_jobs(jobs, "--jobs")
+        else:
+            raw = env.get(JOBS_ENV)
+            job_count = cls._parse_jobs(raw, JOBS_ENV) if raw else 1
+        if engine is None:
+            engine = env.get(ENGINE_ENV, "1") not in ("0", "false")
+        return cls(
+            jobs=job_count,
+            engine=engine,
+            cache_dir=cache_dir or env.get(CACHE_DIR_ENV) or None,
+            trace_path=trace_path or env.get(TRACE_ENV) or None,
+            incident_log=incident_log or env.get(INCIDENT_LOG_ENV) or None,
+        )
+
+    @staticmethod
+    def _parse_jobs(value: int | str, source: str) -> int:
+        try:
+            jobs = int(value)
+        except (TypeError, ValueError):
+            raise SettingsError(
+                f"{source} must be an integer, got {value!r}",
+                name=source, value=str(value)) from None
+        if jobs < 1:
+            raise SettingsError(
+                f"{source} must be >= 1, got {jobs}",
+                name=source, value=str(value))
+        return jobs
+
+    def apply(self) -> "Settings":
+        """Push these settings into the global switches.
+
+        An unusable :attr:`cache_dir` raises
+        :class:`~repro.errors.CacheConfigError` (strict validation: the
+        directory was configured by name).  A :attr:`trace_path` is
+        attached only when tracing is not already active, and without
+        truncating — ``python -m repro trace`` owns the
+        truncate-then-write lifecycle for its own output file.
+        """
+        from repro import obs, perf
+        from repro.resilience.incidents import incident_log
+        perf.set_engine_enabled(self.engine)
+        perf.set_jobs(self.jobs)
+        if self.cache_dir is not None:
+            perf.translation_cache().attach_disk(self.cache_dir,
+                                                 strict=True)
+        if self.incident_log is not None:
+            incident_log().configure_sink(self.incident_log)
+        if self.trace_path is not None and not obs.tracing_active():
+            obs.start_trace(self.trace_path, truncate=False)
+        return self
+
+
+class Session:
+    """A configured context for translating and running loops.
+
+    Bundles the four configuration axes every operation needs — the
+    accelerator present in the system, the static/dynamic translation
+    options, the scalar CPU model and the guard policy — so call sites
+    name them once instead of threading them through every call:
+
+        session = repro.api.Session()          # the proposed design
+        result = session.translate(loop)
+        outcome = session.run_loop(loop)
+        runs = session.run_suite()
+
+    Pass ``accelerator=None`` explicitly for a scalar-only machine
+    (no accelerator present); leaving it unspecified means the paper's
+    proposed design.
+    """
+
+    def __init__(self, accelerator: Any = _PROPOSED,
+                 options: TranslationOptions = TranslationOptions(),
+                 cpu: CPUConfig = ARM11,
+                 guard: GuardConfig = GuardConfig(),
+                 settings: Optional[Settings] = None,
+                 **vm_overrides: Any) -> None:
+        if settings is not None:
+            settings.apply()
+        self.accelerator = (_default_accelerator()
+                            if accelerator is _PROPOSED else accelerator)
+        self.options = options
+        self.cpu = cpu
+        self.guard = guard
+        self._vm_overrides = vm_overrides
+        self._vm: Optional[VirtualMachine] = None
+
+    def vm_config(self) -> VMConfig:
+        """The :class:`~repro.vm.runtime.VMConfig` this session runs."""
+        return VMConfig(cpu=self.cpu, accelerator=self.accelerator,
+                        options=self.options, guard=self.guard,
+                        **self._vm_overrides)
+
+    def _machine(self) -> VirtualMachine:
+        if self._vm is None:
+            self._vm = VirtualMachine(self.vm_config())
+        return self._vm
+
+    def translate(self, loop) -> TranslationResult:
+        """Translate *loop* for this session's accelerator."""
+        if self.accelerator is None:
+            raise ValueError(
+                "this session models a scalar-only machine "
+                "(accelerator=None); translation needs an accelerator")
+        return translate_loop(loop, self.accelerator, self.options)
+
+    def run_loop(self, loop, scalars: Optional[dict] = None,
+                 seed: int = 1234) -> LoopOutcome:
+        """Measure *loop* under this session's full VM configuration."""
+        return self._machine().run_loop(loop, scalars=scalars, seed=seed)
+
+    def run_benchmark(self, benchmark) -> AppRun:
+        """Run one benchmark end to end under this session's config."""
+        return self._machine().run_benchmark(benchmark)
+
+    def run_suite(self, benchmarks: Optional[list] = None,
+                  annotate: bool = False,
+                  jobs: Optional[int] = None) -> dict[str, AppRun]:
+        """Run the benchmark suite under this session's config."""
+        from repro.experiments.common import _run_suite
+        return _run_suite(self.vm_config(), benchmarks=benchmarks,
+                          annotate=annotate, jobs=jobs)
+
+
+# -- one-shot conveniences ----------------------------------------------------
+
+def translate(loop, config: Optional[LAConfig] = None,
+              options: Optional[TranslationOptions] = None
+              ) -> TranslationResult:
+    """Translate *loop* for *config* (default: the proposed LA)."""
+    return translate_loop(
+        loop, _default_accelerator() if config is None else config,
+        TranslationOptions() if options is None else options)
+
+
+def run_loop(loop, config: Optional[LAConfig] = None,
+             options: Optional[TranslationOptions] = None,
+             scalars: Optional[dict] = None, seed: int = 1234,
+             guard: GuardConfig = GuardConfig()) -> LoopOutcome:
+    """Measure one loop under a fresh default session."""
+    session = Session(accelerator=(_default_accelerator()
+                                   if config is None else config),
+                      options=options or TranslationOptions(),
+                      guard=guard)
+    return session.run_loop(loop, scalars=scalars, seed=seed)
+
+
+def run_suite(config: Optional[VMConfig] = None,
+              benchmarks: Optional[list] = None,
+              annotate: bool = False,
+              jobs: Optional[int] = None) -> dict[str, AppRun]:
+    """Run every benchmark under *config*; returns runs by name.
+
+    *config* is a full :class:`~repro.vm.runtime.VMConfig` (default:
+    ARM11 + the proposed LA).  ``jobs`` > 1 fans benchmarks over worker
+    processes; the result is byte-identical at any job count.
+    """
+    from repro.experiments.common import _run_suite
+    if config is None:
+        config = VMConfig(cpu=ARM11, accelerator=_default_accelerator())
+    return _run_suite(config, benchmarks=benchmarks, annotate=annotate,
+                      jobs=jobs)
+
+
+def sweep(label: str, xs: Sequence[int],
+          make_config: Callable[[int], LAConfig],
+          benchmarks: Optional[list] = None,
+          jobs: Optional[int] = None):
+    """Design-space sweep: ``make_config(x)`` for every x.
+
+    Returns a :class:`~repro.experiments.sweeps.SweepSeries` whose
+    fractions come back in x order at any job count.
+    """
+    from repro.experiments.sweeps import _sweep
+    return _sweep(label, list(xs), make_config, benchmarks=benchmarks,
+                  jobs=jobs)
+
+
+def fraction_of_infinite(config: LAConfig,
+                         benchmarks: Optional[list] = None) -> float:
+    """Mean fraction of the infinite-resource speedup under *config*."""
+    from repro.experiments.sweeps import _fraction_of_infinite
+    return _fraction_of_infinite(config, benchmarks=benchmarks)
+
+
+def run_figure(name: str, jobs: Optional[int] = None) -> str:
+    """Regenerate one paper figure/table by name; returns its text."""
+    from repro import perf
+    from repro.experiments.figures import FIGURES
+    if name not in FIGURES:
+        raise KeyError(f"unknown figure {name!r}; available: "
+                       + ", ".join(sorted(FIGURES)))
+    if jobs is not None:
+        perf.set_jobs(jobs)
+    _description, fn = FIGURES[name]
+    return fn()
+
+
+def figures() -> dict[str, str]:
+    """Figure name -> one-line description, for discovery."""
+    from repro.experiments.figures import FIGURES
+    return {name: description
+            for name, (description, _fn) in FIGURES.items()}
+
+
+__all__ = [
+    "Session", "Settings", "TranslationOptions", "TranslationResult",
+    "VMConfig", "figures", "fraction_of_infinite", "run_figure",
+    "run_loop", "run_suite", "sweep", "translate",
+]

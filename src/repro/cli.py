@@ -14,6 +14,8 @@ inspects a kernel's translation without writing code:
     python -m repro chaos -n 24 --seed 2008    # infrastructure chaos campaign
     python -m repro trace fig8 --jobs 2        # figure + JSONL span trace
     python -m repro stats TRACE_fig8.jsonl     # summarise a trace file
+    python -m repro serve --workers 2          # service smoke: serve + drain
+    python -m repro loadgen                    # service scaling/dedup bench
 """
 
 from __future__ import annotations
@@ -21,149 +23,11 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Callable, Optional
+from typing import Optional
 
-FIGURES: dict[str, tuple[str, Callable[[], str]]] = {}
-
-
-def _register(name: str, description: str):
-    def wrap(fn: Callable[[], str]):
-        FIGURES[name] = (description, fn)
-        return fn
-    return wrap
-
-
-@_register("fig2", "Figure 2: execution-time coverage by loop category")
-def _fig2() -> str:
-    from repro.experiments.fig2_coverage import format_coverage, run_coverage
-    return format_coverage(run_coverage())
-
-
-@_register("fig3a", "Figure 3(a): function-unit design-space sweep")
-def _fig3a() -> str:
-    from repro.experiments.sweeps import format_series, run_fu_sweep
-    return format_series("Figure 3(a): function unit sweep", run_fu_sweep())
-
-
-@_register("fig3b", "Figure 3(b): register design-space sweep")
-def _fig3b() -> str:
-    from repro.experiments.sweeps import format_series, run_register_sweep
-    return format_series("Figure 3(b): register sweep", run_register_sweep())
-
-
-@_register("fig4a", "Figure 4(a): memory-stream design-space sweep")
-def _fig4a() -> str:
-    from repro.experiments.sweeps import format_series, run_stream_sweep
-    return format_series("Figure 4(a): memory stream sweep",
-                         run_stream_sweep())
-
-
-@_register("fig4b", "Figure 4(b): maximum-II design-space sweep")
-def _fig4b() -> str:
-    from repro.experiments.sweeps import format_series, run_max_ii_sweep
-    return format_series("Figure 4(b): maximum II sweep",
-                         run_max_ii_sweep())
-
-
-@_register("design", "Section 3.2: proposed design point + area table")
-def _design() -> str:
-    from repro.experiments.design_point import (
-        format_area_table,
-        format_design_point,
-        run_area_table,
-        run_design_point,
-    )
-    return (format_design_point(run_design_point()) + "\n\n"
-            + format_area_table(run_area_table()))
-
-
-@_register("fig6", "Figure 6: speedup vs translation overhead")
-def _fig6() -> str:
-    from repro.experiments.fig6_overhead import (
-        format_overhead,
-        run_overhead_sweep,
-    )
-    return format_overhead(run_overhead_sweep())
-
-
-@_register("fig7", "Figure 7: impact of static loop transformations")
-def _fig7() -> str:
-    from repro.experiments.fig7_transforms import (
-        format_transforms,
-        run_transform_comparison,
-    )
-    return format_transforms(run_transform_comparison())
-
-
-@_register("fig8", "Figure 8: translation penalty per loop")
-def _fig8() -> str:
-    from repro.experiments.fig8_translation import (
-        format_translation,
-        run_translation_profile,
-    )
-    return format_translation(run_translation_profile())
-
-
-@_register("fig10", "Figure 10: static/dynamic tradeoff speedups")
-def _fig10() -> str:
-    from repro.experiments.fig10_speedup import (
-        format_speedup_matrix,
-        run_speedup_matrix,
-    )
-    return format_speedup_matrix(run_speedup_matrix())
-
-
-@_register("static-mii", "Section 4.2: rejected static MII encoding")
-def _static_mii() -> str:
-    from repro.experiments.static_tradeoffs import (
-        format_static_mii,
-        run_static_mii_study,
-    )
-    return format_static_mii(run_static_mii_study())
-
-
-@_register("footnote3", "Footnote 3: static priority under latency drift")
-def _footnote3() -> str:
-    from repro.experiments.static_tradeoffs import (
-        format_footnote3,
-        run_footnote3_study,
-    )
-    return format_footnote3(run_footnote3_study())
-
-
-@_register("amortization", "Bus-latency sensitivity + trip-count crossover")
-def _amortization() -> str:
-    from repro.experiments.amortization import (
-        format_amortization,
-        run_bus_sweep,
-        run_trip_crossover,
-    )
-    return format_amortization(run_bus_sweep(), run_trip_crossover())
-
-
-@_register("speculation", "Section 2.2 extension: speculative memory support")
-def _speculation() -> str:
-    from repro.experiments.speculation import (
-        format_speculation,
-        run_speculation_study,
-    )
-    return format_speculation(run_speculation_study())
-
-
-@_register("utilization", "measured kernel utilization (overlapped executor)")
-def _utilization() -> str:
-    from repro.experiments.utilization import (
-        format_utilization,
-        run_utilization,
-    )
-    return format_utilization(run_utilization())
-
-
-@_register("all", "run every experiment and print one full report")
-def _all() -> str:
-    from repro.experiments.report import full_report
-    return full_report(progress=lambda title: print(f"... {title}",
-                                                    file=sys.stderr))
+# The registry lives with the experiments (repro.experiments.figures);
+# re-exported here because generations of callers import it from the CLI.
+from repro.experiments.figures import FIGURES
 
 
 def _kernel_by_name(name: str):
@@ -238,6 +102,57 @@ def cmd_faults(injections: int, seed: int, mode: str):
     config = CampaignConfig(injections=injections, seed=seed, guard=guard)
     return run_campaign(
         config, progress=lambda msg: print(f"... {msg}", file=sys.stderr))
+
+
+def cmd_serve(workers: int, sessions: int) -> tuple[str, bool]:
+    """Boot the loop-acceleration service, drive a short multi-session
+    workload through it, and drain.
+
+    Every session submits the same translate corpus, so the run
+    demonstrates the service's whole contract in a few hundred
+    milliseconds: concurrent duplicates collapse to one core
+    translation each (single-flight), all sessions share the process
+    cache, and the drain leaves nothing queued.  Returns the printable
+    summary and whether the service drained with every request served.
+    """
+    import time
+
+    from repro.errors import ServiceOverload
+    from repro.service import LoopService, ServiceConfig
+    from repro.service.loadgen import request_corpus
+
+    corpus = request_corpus()
+    service = LoopService(ServiceConfig(workers=workers)).start()
+    try:
+        handles = [service.open_session(f"session-{i}")
+                   for i in range(sessions)]
+        futures = []
+        for session in handles:
+            for loop, config, options in corpus:
+                # Admission control pushes back when the queue is full;
+                # a well-behaved client waits and retries.
+                while True:
+                    try:
+                        futures.append(
+                            session.translate(loop, config, options))
+                        break
+                    except ServiceOverload:
+                        time.sleep(0.001)
+        served = sum(1 for future in futures
+                     if future.result(timeout=600) is not None)
+    finally:
+        stats = service.close()
+    lines = [
+        f"service: {workers} worker(s), {sessions} sessions x "
+        f"{len(corpus)} translate requests",
+        f"  submitted {stats.submitted}  completed {stats.completed}  "
+        f"served {served}",
+        f"  core translations {stats.translated}  "
+        f"single-flight dedup hits {stats.dedup_hits}",
+        f"  drained: {'yes' if stats.drained else 'NO'}",
+    ]
+    ok = stats.drained and served == len(futures)
+    return "\n".join(lines), ok
 
 
 def cmd_kernels() -> str:
@@ -317,6 +232,31 @@ def main(argv: Optional[list[str]] = None) -> int:
     trace.add_argument("--jobs", "-j", type=int, default=None,
                        help="worker processes for sweep fan-out "
                             "(default: REPRO_JOBS or 1)")
+    serve = sub.add_parser("serve",
+                           help="boot the loop-acceleration service, "
+                                "serve a short multi-session workload, "
+                                "drain")
+    serve.add_argument("--workers", "-w", type=int, default=1,
+                       help="translation worker processes (default 1)")
+    serve.add_argument("--sessions", type=int, default=3,
+                       help="concurrent client sessions (default 3)")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="also write a JSONL span trace to PATH")
+    loadgen = sub.add_parser("loadgen",
+                             help="multi-client service load driver: "
+                                  "throughput scaling, single-flight "
+                                  "dedup and figure-identity checks")
+    loadgen.add_argument("--workers", "-w", default=None,
+                         help="comma-separated worker counts to compare "
+                              "(default 1,2)")
+    loadgen.add_argument("--clients", type=int, default=None,
+                         help="client threads (default 3)")
+    loadgen.add_argument("--runs", type=int, default=None,
+                         help="measured loop executions per client "
+                              "(default 6)")
+    loadgen.add_argument("--output", "-o", default=None,
+                         help="JSON report path (default "
+                              "benchmarks/results/BENCH_service.json)")
     stats = sub.add_parser("stats",
                            help="summarise a JSONL trace/metrics dump")
     stats.add_argument("path", nargs="?", default=None,
@@ -336,21 +276,17 @@ def main(argv: Optional[list[str]] = None) -> int:
                          help="also write a JSONL span trace to PATH")
     args = parser.parse_args(argv)
 
-    if getattr(args, "jobs", None) is not None:
-        from repro import perf
-        perf.set_jobs(args.jobs)
-
-    # REPRO_CACHE_DIR opts every command into the on-disk translation
-    # cache; an unusable explicit override is a configuration error the
-    # user must see at startup, not a silent memory-only run.
-    if os.environ.get("REPRO_CACHE_DIR"):
-        from repro import perf
-        from repro.errors import CacheConfigError
-        try:
-            perf.enable_disk_cache()
-        except CacheConfigError as exc:
-            print(f"error: [{exc.kind}] {exc}", file=sys.stderr)
-            return 2
+    # One validated Settings loader covers every knob (--jobs,
+    # REPRO_JOBS, REPRO_CACHE_DIR, REPRO_INCIDENT_LOG); an unusable
+    # explicit override is a configuration error the user must see at
+    # startup, not a silent fallback.
+    from repro.api import Settings
+    from repro.errors import CacheConfigError, SettingsError
+    try:
+        Settings.from_env(jobs=getattr(args, "jobs", None)).apply()
+    except (SettingsError, CacheConfigError) as exc:
+        print(f"error: [{exc.kind}] {exc}", file=sys.stderr)
+        return 2
 
     if args.command in (None, "list"):
         width = max(len(n) for n in FIGURES)
@@ -366,6 +302,10 @@ def main(argv: Optional[list[str]] = None) -> int:
               f"(JSONL trace file)")
         print(f"  {'stats'.ljust(width)}  summarise a JSONL trace/metrics "
               f"dump")
+        print(f"  {'serve'.ljust(width)}  loop-acceleration service smoke "
+              f"(serve a workload, drain)")
+        print(f"  {'loadgen'.ljust(width)}  service load driver "
+              f"(scaling, dedup, identity)")
         return 0
     if args.command == "kernels":
         print(cmd_kernels())
@@ -435,6 +375,49 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(text)
         print(f"trace written to {path}", file=sys.stderr)
         return 0
+    if args.command == "serve":
+        if args.trace:
+            from repro import obs
+            obs.start_trace(args.trace)
+        try:
+            if args.trace:
+                from repro import obs
+                with obs.span("serve", component="cli",
+                              workers=args.workers,
+                              sessions=args.sessions):
+                    text, ok = cmd_serve(args.workers, args.sessions)
+                obs.write_metrics_record()
+            else:
+                text, ok = cmd_serve(args.workers, args.sessions)
+        finally:
+            if args.trace:
+                from repro import obs
+                obs.stop_trace()
+        print(text)
+        if args.trace:
+            print(f"trace written to {args.trace}", file=sys.stderr)
+        return 0 if ok else 1
+    if args.command == "loadgen":
+        from repro.service.loadgen import (
+            DEFAULT_CLIENTS,
+            DEFAULT_OUTPUT,
+            DEFAULT_RUN_KERNELS,
+            DEFAULT_WORKERS,
+            format_loadgen,
+            run_loadgen,
+            write_report,
+        )
+        workers = (tuple(int(w) for w in args.workers.split(","))
+                   if args.workers else DEFAULT_WORKERS)
+        report = run_loadgen(
+            workers=workers,
+            clients=args.clients or DEFAULT_CLIENTS,
+            run_kernel_count=args.runs or DEFAULT_RUN_KERNELS,
+            progress=lambda msg: print(f"... {msg}", file=sys.stderr))
+        path = write_report(report, args.output or DEFAULT_OUTPUT)
+        print(format_loadgen(report))
+        print(f"report written to {path}")
+        return 0 if report.ok else 1
     if args.command == "stats":
         from repro.obs.schema import validate_trace_file
         from repro.obs.stats import format_trace_stats, load_trace

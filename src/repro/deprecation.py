@@ -1,0 +1,29 @@
+"""Once-per-process deprecation warnings for superseded entry points.
+
+The ``repro.api`` facade replaced the scattered helpers that examples
+and the CLI previously imported directly (``experiments.common``,
+``experiments.sweeps``).  The old names keep working through shims
+that call :func:`warn_once` — each name warns at most once per
+process, so a sweep that calls a shimmed helper a thousand times emits
+one :class:`DeprecationWarning`, not a thousand.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_warned: set[str] = set()
+
+
+def warn_once(old: str, new: str, stacklevel: int = 3) -> None:
+    """Emit one ``DeprecationWarning`` pointing *old* users at *new*."""
+    if old in _warned:
+        return
+    _warned.add(old)
+    warnings.warn(f"{old} is deprecated; use {new} instead",
+                  DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_warned() -> None:
+    """Forget which names have warned (test isolation)."""
+    _warned.clear()

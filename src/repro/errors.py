@@ -199,6 +199,77 @@ class GuardViolation(ExecutionError):
         self.mismatches = list(mismatches or [])
 
 
+# -- configuration failures ---------------------------------------------------
+
+class SettingsError(ReproError):
+    """A configuration value (env var or explicit override) is invalid.
+
+    Raised by :meth:`repro.api.Settings.from_env` so a mistyped
+    ``REPRO_JOBS=banana`` fails loudly at startup with the offending
+    variable named, instead of silently defaulting — the same posture
+    :class:`CacheConfigError` takes for an unusable cache directory.
+    """
+
+    kind = "settings"
+
+    def __init__(self, message: str, name: Optional[str] = None,
+                 value: Optional[str] = None, **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.name = name
+        self.value = value
+
+
+# -- service failures ---------------------------------------------------------
+
+class ServiceError(ReproError):
+    """The loop-acceleration service could not process a request."""
+
+    kind = "service"
+
+
+class ServiceClosed(ServiceError):
+    """A request arrived after the service stopped accepting work."""
+
+    kind = "service-closed"
+
+
+class ServiceOverload(ServiceError):
+    """Admission control rejected a request (backpressure).
+
+    Raised at submission time when the bounded request queue is full —
+    the typed signal a client uses to back off and retry.  Every
+    rejection is also an incident record, so overload shows up on the
+    same observability surface as cache corruption and worker losses.
+    """
+
+    kind = "service-overload"
+
+    def __init__(self, message: str, session: Optional[str] = None,
+                 queue_depth: Optional[int] = None, **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.session = session
+        self.queue_depth = queue_depth
+
+
+class SessionBudgetExceeded(ServiceOverload):
+    """A session spent its translation-work budget; request rejected.
+
+    Per-session admission control: translation work units (the
+    :class:`~repro.vm.costmodel.TranslationMeter` accounting) are
+    charged against the session's budget as results complete, and a
+    session past its budget is refused further work instead of starving
+    its neighbours.
+    """
+
+    kind = "session-budget"
+
+    def __init__(self, message: str, budget_units: int = 0,
+                 spent_units: int = 0, **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.budget_units = budget_units
+        self.spent_units = spent_units
+
+
 # -- infrastructure failures --------------------------------------------------
 
 class InfrastructureError(ReproError):
@@ -300,6 +371,11 @@ __all__ = [
     "ResourceClassError",
     "SchedulabilityError",
     "SchedulingError",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceOverload",
+    "SessionBudgetExceeded",
+    "SettingsError",
     "StreamLimitError",
     "TranslationBudgetExceeded",
     "TranslationError",

@@ -27,7 +27,7 @@ from repro.experiments.common import (
     baseline_runs,
     format_table,
     fmt,
-    run_suite,
+    _run_suite,
     speedups,
 )
 from repro.vm.runtime import VMConfig
@@ -54,7 +54,7 @@ def run_bus_sweep(benchmarks: Optional[list[Benchmark]] = None
             cpu=ARM11,
             accelerator=PROPOSED_LA.with_(bus_latency=bus),
             charge_translation=False, functional=False)
-        runs = run_suite(config, benchmarks=benches)
+        runs = _run_suite(config, benchmarks=benches)
         points.append(BusSweepPoint(
             bus, arithmetic_mean(list(speedups(base, runs).values()))))
     return points

@@ -71,10 +71,10 @@ def _run_one_benchmark(payload) -> AppRun:
     return vm.run_benchmark(bench)
 
 
-def run_suite(config: VMConfig,
-              benchmarks: Optional[list[Benchmark]] = None,
-              annotate: bool = False,
-              jobs: Optional[int] = None) -> dict[str, AppRun]:
+def _run_suite(config: VMConfig,
+               benchmarks: Optional[list[Benchmark]] = None,
+               annotate: bool = False,
+               jobs: Optional[int] = None) -> dict[str, AppRun]:
     """Run every benchmark under *config*; returns runs by name.
 
     ``jobs`` > 1 fans the benchmarks over worker processes (default:
@@ -89,11 +89,22 @@ def run_suite(config: VMConfig,
     return {bench.name: run for bench, run in zip(benches, runs)}
 
 
+def run_suite(config: VMConfig,
+              benchmarks: Optional[list[Benchmark]] = None,
+              annotate: bool = False,
+              jobs: Optional[int] = None) -> dict[str, AppRun]:
+    """Deprecated alias of :func:`repro.api.run_suite`."""
+    from repro.deprecation import warn_once
+    warn_once("repro.experiments.common.run_suite", "repro.api.run_suite")
+    return _run_suite(config, benchmarks=benchmarks, annotate=annotate,
+                      jobs=jobs)
+
+
 def baseline_runs(benchmarks: Optional[list[Benchmark]] = None
                   ) -> dict[str, AppRun]:
     """The ARM11-without-accelerator baseline every speedup divides by."""
-    return run_suite(VMConfig(cpu=ARM11, accelerator=None),
-                     benchmarks=benchmarks)
+    return _run_suite(VMConfig(cpu=ARM11, accelerator=None),
+                      benchmarks=benchmarks)
 
 
 def speedups(base: dict[str, AppRun], runs: dict[str, AppRun]

@@ -14,7 +14,7 @@ from repro.accelerator.area import accelerator_area
 from repro.accelerator.config import PROPOSED_LA, LAConfig
 from repro.cpu.pipeline import ARM11, CORTEX_A8, QUAD_ISSUE
 from repro.experiments.common import format_table, fmt
-from repro.experiments.sweeps import fraction_of_infinite
+from repro.experiments.sweeps import _fraction_of_infinite
 
 
 @dataclass
@@ -25,7 +25,7 @@ class DesignPointResult:
 
 
 def run_design_point(config: LAConfig = PROPOSED_LA) -> DesignPointResult:
-    fraction = fraction_of_infinite(config)
+    fraction = _fraction_of_infinite(config)
     area = accelerator_area(config).total
     return DesignPointResult(
         fraction_of_infinite=fraction,

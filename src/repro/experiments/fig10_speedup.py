@@ -27,7 +27,7 @@ from repro.experiments.common import (
     baseline_runs,
     format_table,
     fmt,
-    run_suite,
+    _run_suite,
     speedups,
 )
 from repro.vm.runtime import VMConfig
@@ -90,7 +90,7 @@ def run_speedup_matrix(benchmarks: Optional[list[Benchmark]] = None,
     by_mode: dict[str, dict[str, float]] = {}
     for mode, _label in MODES:
         config, annotate = _mode_config(mode, functional)
-        runs = run_suite(config, benchmarks=benches, annotate=annotate)
+        runs = _run_suite(config, benchmarks=benches, annotate=annotate)
         by_mode[mode] = speedups(base, runs)
     return SpeedupMatrix(benchmarks=[b.name for b in benches],
                          by_mode=by_mode)

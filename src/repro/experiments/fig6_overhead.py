@@ -19,7 +19,7 @@ from repro.experiments.common import (
     baseline_runs,
     format_table,
     fmt,
-    run_suite,
+    _run_suite,
     speedups,
 )
 from repro.vm.runtime import VMConfig
@@ -57,7 +57,7 @@ def run_overhead_sweep(benchmarks: Optional[list[Benchmark]] = None
                 translation_overhead_override=float(overhead),
                 miss_rate_override=rate if rate > 0 else None,
                 functional=False)
-            runs = run_suite(config, benchmarks=benches)
+            runs = _run_suite(config, benchmarks=benches)
             means.append(arithmetic_mean(list(speedups(base, runs).values())))
         series.append(OverheadSeries(label=label, miss_rate=rate,
                                      overheads=list(OVERHEAD_POINTS),

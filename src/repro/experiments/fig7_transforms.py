@@ -25,7 +25,7 @@ from repro.experiments.common import (
     baseline_runs,
     format_table,
     fmt,
-    run_suite,
+    _run_suite,
     speedups,
 )
 from repro.vm.runtime import VMConfig
@@ -58,8 +58,8 @@ def run_transform_comparison(benchmarks: Optional[list[Benchmark]] = None
     without_cfg = VMConfig(cpu=ARM11, accelerator=PROPOSED_LA,
                            charge_translation=False, functional=False,
                            static_transforms_applied=False)
-    s_with = speedups(base, run_suite(with_cfg, benchmarks=benches))
-    s_without = speedups(base, run_suite(without_cfg, benchmarks=benches))
+    s_with = speedups(base, _run_suite(with_cfg, benchmarks=benches))
+    s_without = speedups(base, _run_suite(without_cfg, benchmarks=benches))
     return [TransformRow(b.name, s_with[b.name], s_without[b.name])
             for b in benches]
 

@@ -24,7 +24,7 @@ from repro.experiments.common import (
     baseline_runs,
     format_table,
     fmt,
-    run_suite,
+    _run_suite,
     speedups,
 )
 from repro.vm.runtime import VMConfig
@@ -54,8 +54,8 @@ def run_speculation_study(benchmarks: Optional[list[Benchmark]] = None
                          charge_translation=False, functional=False)
     spec_cfg = VMConfig(cpu=ARM11, accelerator=SPECULATIVE_LA,
                         charge_translation=False, functional=False)
-    plain = speedups(base, run_suite(plain_cfg, benchmarks=benches))
-    spec = speedups(base, run_suite(spec_cfg, benchmarks=benches))
+    plain = speedups(base, _run_suite(plain_cfg, benchmarks=benches))
+    spec = speedups(base, _run_suite(spec_cfg, benchmarks=benches))
     return [SpeculationRow(b.name, plain[b.name], spec[b.name])
             for b in benches]
 

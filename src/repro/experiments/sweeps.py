@@ -18,11 +18,11 @@ from repro.accelerator.config import INFINITE_LA, LAConfig
 from repro.cca.model import DEFAULT_CCA
 from repro.cpu.pipeline import ARM11
 from repro.experiments.common import (
+    _run_suite,
     arithmetic_mean,
     baseline_runs,
     format_table,
     fmt,
-    run_suite,
     speedups,
 )
 from repro.vm.runtime import VMConfig
@@ -58,7 +58,7 @@ def _baseline_and_infinite(benches: list[Benchmark]) -> tuple[dict, dict]:
     if cached is None:
         base = baseline_runs(benches)
         infinite = speedups(
-            base, run_suite(_config_vm(INFINITE_LA), benchmarks=benches))
+            base, _run_suite(_config_vm(INFINITE_LA), benchmarks=benches))
         cached = (base, infinite)
         perf.baseline_cache[key] = cached
     return cached
@@ -67,7 +67,7 @@ def _baseline_and_infinite(benches: list[Benchmark]) -> tuple[dict, dict]:
 def _sweep_point(payload) -> float:
     """Top-level (picklable) worker: one design point's mean fraction."""
     config, benches, base, infinite = payload
-    point = speedups(base, run_suite(_config_vm(config), benchmarks=benches))
+    point = speedups(base, _run_suite(_config_vm(config), benchmarks=benches))
     fractions = []
     for name in point:
         # The paper's metric: what fraction of the infinite-resource
@@ -76,19 +76,29 @@ def _sweep_point(payload) -> float:
     return arithmetic_mean(fractions)
 
 
-def fraction_of_infinite(config: LAConfig,
-                         benchmarks: Optional[list[Benchmark]] = None
-                         ) -> float:
+def _fraction_of_infinite(config: LAConfig,
+                          benchmarks: Optional[list[Benchmark]] = None
+                          ) -> float:
     """Mean fraction of infinite-resource speedup under *config*."""
     benches = media_fp_benchmarks() if benchmarks is None else benchmarks
     base, infinite = _baseline_and_infinite(benches)
     return _sweep_point((config, benches, base, infinite))
 
 
-def sweep(label: str, xs: list[int],
-          make_config: Callable[[int], LAConfig],
-          benchmarks: Optional[list[Benchmark]] = None,
-          jobs: Optional[int] = None) -> SweepSeries:
+def fraction_of_infinite(config: LAConfig,
+                         benchmarks: Optional[list[Benchmark]] = None
+                         ) -> float:
+    """Deprecated alias of :func:`repro.api.fraction_of_infinite`."""
+    from repro.deprecation import warn_once
+    warn_once("repro.experiments.sweeps.fraction_of_infinite",
+              "repro.api.fraction_of_infinite")
+    return _fraction_of_infinite(config, benchmarks=benchmarks)
+
+
+def _sweep(label: str, xs: list[int],
+           make_config: Callable[[int], LAConfig],
+           benchmarks: Optional[list[Benchmark]] = None,
+           jobs: Optional[int] = None) -> SweepSeries:
     """Evaluate ``make_config(x)`` for every x.
 
     The configs are materialised up front (``make_config`` may be a
@@ -109,6 +119,16 @@ def sweep(label: str, xs: list[int],
     return SweepSeries(label=label, xs=xs, fractions=fractions)
 
 
+def sweep(label: str, xs: list[int],
+          make_config: Callable[[int], LAConfig],
+          benchmarks: Optional[list[Benchmark]] = None,
+          jobs: Optional[int] = None) -> SweepSeries:
+    """Deprecated alias of :func:`repro.api.sweep`."""
+    from repro.deprecation import warn_once
+    warn_once("repro.experiments.sweeps.sweep", "repro.api.sweep")
+    return _sweep(label, xs, make_config, benchmarks=benchmarks, jobs=jobs)
+
+
 # -- Figure 3(a): function units ---------------------------------------------
 
 INT_UNIT_POINTS = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32]
@@ -119,14 +139,14 @@ def run_fu_sweep(benchmarks: Optional[list[Benchmark]] = None
                  ) -> list[SweepSeries]:
     """Integer units (with and without a CCA) and FP units."""
     series = [
-        sweep("IEx (no CCA)", INT_UNIT_POINTS,
+        _sweep("IEx (no CCA)", INT_UNIT_POINTS,
               lambda k: INFINITE_LA.with_(num_int_units=k, num_ccas=0),
               benchmarks),
-        sweep("IEx (1 CCA)", INT_UNIT_POINTS,
+        _sweep("IEx (1 CCA)", INT_UNIT_POINTS,
               lambda k: INFINITE_LA.with_(num_int_units=k, num_ccas=1,
                                           cca=DEFAULT_CCA),
               benchmarks),
-        sweep("FEx", FP_UNIT_POINTS,
+        _sweep("FEx", FP_UNIT_POINTS,
               lambda k: INFINITE_LA.with_(num_fp_units=k), benchmarks),
     ]
     return series
@@ -140,9 +160,9 @@ REGISTER_POINTS = [1, 2, 4, 8, 12, 16, 24, 32, 64]
 def run_register_sweep(benchmarks: Optional[list[Benchmark]] = None
                        ) -> list[SweepSeries]:
     return [
-        sweep("integer registers", REGISTER_POINTS,
+        _sweep("integer registers", REGISTER_POINTS,
               lambda k: INFINITE_LA.with_(num_int_regs=k), benchmarks),
-        sweep("floating-point registers", REGISTER_POINTS,
+        _sweep("floating-point registers", REGISTER_POINTS,
               lambda k: INFINITE_LA.with_(num_fp_regs=k), benchmarks),
     ]
 
@@ -156,9 +176,9 @@ STORE_STREAM_POINTS = [0, 1, 2, 4, 6, 8, 12, 16]
 def run_stream_sweep(benchmarks: Optional[list[Benchmark]] = None
                      ) -> list[SweepSeries]:
     return [
-        sweep("load streams", LOAD_STREAM_POINTS,
+        _sweep("load streams", LOAD_STREAM_POINTS,
               lambda k: INFINITE_LA.with_(load_streams=k), benchmarks),
-        sweep("store streams", STORE_STREAM_POINTS,
+        _sweep("store streams", STORE_STREAM_POINTS,
               lambda k: INFINITE_LA.with_(store_streams=k), benchmarks),
     ]
 
@@ -171,7 +191,7 @@ MAX_II_POINTS = [2, 4, 6, 8, 12, 16, 24, 32, 64]
 def run_max_ii_sweep(benchmarks: Optional[list[Benchmark]] = None
                      ) -> list[SweepSeries]:
     return [
-        sweep("maximum II", MAX_II_POINTS,
+        _sweep("maximum II", MAX_II_POINTS,
               lambda k: INFINITE_LA.with_(max_ii=k), benchmarks),
     ]
 

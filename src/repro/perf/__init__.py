@@ -22,7 +22,19 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 _engine_enabled = os.environ.get("REPRO_ENGINE", "1") not in ("0", "false")
-_jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+
+
+def _jobs_from_env() -> int:
+    # Permissive on purpose: a malformed REPRO_JOBS must not blow up
+    # `import repro`.  The loud, validated rejection happens in
+    # repro.api.Settings.from_env, which every entry point runs.
+    try:
+        return int(os.environ.get("REPRO_JOBS", "1") or "1")
+    except ValueError:
+        return 1
+
+
+_jobs = _jobs_from_env()
 
 #: Set in worker processes so nested parallel_map calls stay serial.
 IN_WORKER_ENV = "REPRO_IN_WORKER"

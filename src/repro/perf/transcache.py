@@ -304,6 +304,17 @@ class TranslationCache:
         obs.inc("transcache.stores")
         self._disk_store(key, entry)
 
+    def seed(self, key: str, entry: CoreEntry) -> None:
+        """Adopt a worker-computed entry, statistics-untouched.
+
+        The service's process pool translates in children and ships the
+        new ``(key, entry)`` pairs home; folding them in must not count
+        as stores (the worker already reported its counter delta) and
+        must not overwrite — the parent may have raced to the same
+        digest, and first-writer-wins keeps the two copies identical.
+        """
+        self._entries.setdefault(key, entry)
+
     def invalidate(self, key: str) -> bool:
         """Deoptimisation support: drop one translation everywhere."""
         found = self._entries.pop(key, None) is not None

@@ -1,0 +1,48 @@
+"""``repro.service`` — the loop-acceleration service.
+
+VEAL's translator is a *runtime service*: a co-designed VM accepts hot
+loops from many applications and amortizes translation cost across
+invocations (PAPER §4; the Figure 8/9 amortization argument).  This
+package realises that posture at the process level:
+
+* :class:`~repro.service.server.LoopService` — a long-running server.
+  Sessions submit translate/run/figure requests into one bounded
+  queue; concurrent identical translations are deduplicated
+  (single-flight on the content-addressed transcache digest: one
+  translation serves all waiters), every session shares the
+  process-wide translation cache, and admission control (queue depth,
+  per-session translation budgets) rejects excess load with typed
+  :class:`~repro.errors.ServiceOverload` backpressure instead of
+  queueing unboundedly.
+* :mod:`~repro.service.loadgen` — a synthetic multi-client load driver
+  (``python -m repro loadgen``) that measures throughput scaling with
+  worker count and proves the dedup/identity contracts.
+
+The service composes the existing layers rather than bypassing them:
+results come from the same :func:`repro.vm.translator.translate_loop`
+/ :mod:`repro.experiments` entry points the serial path uses (and are
+byte-identical to it), requests run under :mod:`repro.obs` spans and
+``service.*`` metrics, and every rejection is a
+:mod:`repro.resilience` incident.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    ServiceClosed,
+    ServiceError,
+    ServiceOverload,
+    SessionBudgetExceeded,
+)
+from repro.service.server import (
+    LoopService,
+    ServiceConfig,
+    ServiceSession,
+    ServiceStats,
+)
+
+__all__ = [
+    "LoopService", "ServiceClosed", "ServiceConfig", "ServiceError",
+    "ServiceOverload", "ServiceSession", "ServiceStats",
+    "SessionBudgetExceeded",
+]

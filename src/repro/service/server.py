@@ -1,0 +1,493 @@
+"""The long-running loop-acceleration server.
+
+One :class:`LoopService` per process; many :class:`ServiceSession`
+clients.  The control flow per request:
+
+1. **Admission** (caller's thread, synchronous): a closed service
+   raises :class:`~repro.errors.ServiceClosed`; a session past its
+   translation budget raises
+   :class:`~repro.errors.SessionBudgetExceeded`; a full request queue
+   raises :class:`~repro.errors.ServiceOverload`.  Every rejection is
+   recorded as an incident, so backpressure shows up on the same
+   surface as cache corruption and worker losses.
+2. **Dispatch**: admitted requests enter one bounded FIFO shared by
+   every session, drained by ``workers`` dispatcher threads.
+3. **Single-flight dedup** (translate requests): the dispatcher
+   computes the content-addressed transcache digest
+   (:func:`repro.vm.translator.translation_key`).  The first request
+   for a digest is the *leader* and actually translates; concurrent
+   duplicates wait for the leader, then finalize from the shared
+   translation cache (register-capacity checks are per-request, so a
+   follower with a different register file still gets *its* correct
+   result — the expensive core pipeline runs once per digest).
+4. **Execution**: with ``workers == 1`` requests run in-process — the
+   byte-identical serial reference path.  With more, leaders fan out
+   to a forked process pool; each pool task ships back its result plus
+   the new cache entries and its perf/obs counter deltas, which the
+   parent merges exactly like ``parallel_map`` does, so aggregate
+   statistics describe the whole run at any worker count.
+5. **Drain**: ``close()`` (or leaving the ``with`` block) stops
+   admission, lets queued work finish, then joins the threads and
+   shuts the pool down — no request is dropped, no temp files orphaned.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro import obs, perf
+from repro.errors import (
+    ServiceClosed,
+    ServiceOverload,
+    SessionBudgetExceeded,
+)
+from repro.resilience.incidents import record_incident
+from repro.vm.translator import (
+    TranslationOptions,
+    TranslationResult,
+    translate_loop,
+    translation_key,
+)
+
+_SENTINEL = None
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """How a :class:`LoopService` admits and executes work."""
+
+    #: Dispatcher threads, and pool processes when > 1 (1 = in-process
+    #: serial execution, the byte-identical reference path).
+    workers: int = 1
+    #: Bounded request-queue depth; submissions beyond it are rejected
+    #: with :class:`~repro.errors.ServiceOverload`.
+    queue_depth: int = 64
+    #: Default per-session translation budget in meter units
+    #: (None = unmetered); ``open_session`` may override per session.
+    default_session_budget: Optional[int] = None
+    #: How long ``close(drain=True)`` waits for queued work.
+    drain_timeout_s: float = 60.0
+    #: Optional stack configuration applied at ``start()``.
+    settings: Optional[Any] = None
+
+
+@dataclass
+class ServiceStats:
+    """What one service lifetime did, reported by ``close()``."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected_overload: int = 0
+    rejected_budget: int = 0
+    rejected_closed: int = 0
+    translated: int = 0
+    dedup_hits: int = 0
+    drained: bool = True
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _Request:
+    kind: str
+    payload: tuple
+    session: str
+    future: Future = field(default_factory=Future)
+    submitted_at: float = 0.0
+
+
+class ServiceSession:
+    """One client's handle on the service.
+
+    Carries the client's accelerator/options context (the same axes as
+    :class:`repro.api.Session`) and its admission-control state: the
+    translation budget and the meter units charged so far.
+    """
+
+    def __init__(self, service: "LoopService", name: str,
+                 accelerator=None, options: Optional[TranslationOptions] = None,
+                 budget_units: Optional[int] = None) -> None:
+        from repro.api import _default_accelerator
+        self._service = service
+        self.name = name
+        self.accelerator = (_default_accelerator() if accelerator is None
+                            else accelerator)
+        self.options = TranslationOptions() if options is None else options
+        self.budget_units = budget_units
+        self.spent_units = 0
+
+    # Each submit returns a concurrent.futures.Future; admission errors
+    # raise synchronously in the caller's thread.
+
+    def translate(self, loop, accelerator=None,
+                  options: Optional[TranslationOptions] = None) -> Future:
+        config = self.accelerator if accelerator is None else accelerator
+        opts = self.options if options is None else options
+        return self._service._submit(
+            _Request("translate", (loop, config, opts), self.name))
+
+    def run_loop(self, loop, scalars: Optional[dict] = None,
+                 seed: int = 1234) -> Future:
+        return self._service._submit(
+            _Request("run_loop",
+                     (loop, self.accelerator, self.options, scalars, seed),
+                     self.name))
+
+    def run_figure(self, name: str) -> Future:
+        return self._service._submit(
+            _Request("figure", (name,), self.name))
+
+    def run_suite(self, config=None, benchmarks=None,
+                  annotate: bool = False) -> Future:
+        return self._service._submit(
+            _Request("suite", (config, benchmarks, annotate), self.name))
+
+
+class LoopService:
+    """Multi-session loop-acceleration server (see module docstring)."""
+
+    def __init__(self, config: ServiceConfig = ServiceConfig()) -> None:
+        self.config = config
+        self.stats = ServiceStats()
+        self._queue: queue.Queue = queue.Queue(maxsize=config.queue_depth)
+        self._threads: list[threading.Thread] = []
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._accepting = True
+        self._started = False
+        self._closed = False
+        # Single-flight bookkeeping: digest -> Event the leader sets
+        # once the shared cache holds the core entry; plus every digest
+        # ever completed (late duplicates are dedup hits too).
+        self._inflight: dict[str, threading.Event] = {}
+        self._done_keys: set[str] = set()
+        self._sessions: dict[str, ServiceSession] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "LoopService":
+        """Boot the dispatchers (and the process pool when workers > 1).
+
+        Separate from construction so tests and callers may enqueue
+        work first: requests submitted before ``start()`` simply wait
+        in the bounded queue.
+        """
+        if self._started:
+            return self
+        if self.config.settings is not None:
+            self.config.settings.apply()
+        if self.config.workers > 1:
+            # Fork *before* the dispatcher threads exist: forking a
+            # multithreaded process can deadlock the children.
+            import multiprocessing
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_pool_init)
+        self._started = True
+        for index in range(self.config.workers):
+            thread = threading.Thread(target=self._dispatch_loop,
+                                      name=f"repro-service-{index}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def __enter__(self) -> "LoopService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    def close(self, drain: bool = True) -> ServiceStats:
+        """Stop admission, optionally drain queued work, shut down.
+
+        With ``drain`` every admitted request completes before the
+        dispatchers exit; without it, still-queued requests fail with
+        :class:`~repro.errors.ServiceClosed`.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return self.stats
+            self._accepting = False
+            self._closed = True
+        if not drain:
+            self._cancel_pending()
+        if self._started:
+            for _ in self._threads:
+                self._queue.put(_SENTINEL)
+            deadline = time.monotonic() + self.config.drain_timeout_s
+            for thread in self._threads:
+                thread.join(timeout=max(0.0, deadline - time.monotonic()))
+                if thread.is_alive():
+                    self.stats.drained = False
+                    record_incident(
+                        "service-stall", "service",
+                        f"dispatcher {thread.name} still running after "
+                        f"{self.config.drain_timeout_s:.0f}s drain window")
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+        else:
+            self._cancel_pending()
+        obs.set_gauge("service.queue_depth", 0)
+        return self.stats
+
+    def _cancel_pending(self) -> None:
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if request is not _SENTINEL:
+                request.future.set_exception(
+                    ServiceClosed("service closed before request ran"))
+
+    # -- sessions and admission --------------------------------------------
+
+    def open_session(self, name: Optional[str] = None, accelerator=None,
+                     options: Optional[TranslationOptions] = None,
+                     budget_units: Optional[int] = None) -> ServiceSession:
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is closed")
+            count = len(self._sessions)
+        if budget_units is None:
+            budget_units = self.config.default_session_budget
+        session = ServiceSession(
+            self, name or f"session-{count}",
+            accelerator=accelerator, options=options,
+            budget_units=budget_units)
+        with self._lock:
+            self._sessions[session.name] = session
+        return session
+
+    def _submit(self, request: _Request) -> Future:
+        with self._lock:
+            if not self._accepting:
+                self.stats.rejected_closed += 1
+                obs.inc("service.rejected.closed")
+                raise ServiceClosed("service is not accepting requests")
+            session = request.session
+            spent, budget = self._session_budget(session)
+            if budget is not None and spent >= budget:
+                self.stats.rejected_budget += 1
+                obs.inc("service.rejected.budget")
+                record_incident(
+                    "session-budget", "service",
+                    f"session {session} spent {spent} of {budget} "
+                    f"translation units; request refused",
+                    session=session, budget_units=budget, spent_units=spent)
+                raise SessionBudgetExceeded(
+                    f"session {session} exhausted its translation budget "
+                    f"({spent} >= {budget} units)",
+                    budget_units=budget, spent_units=spent, session=session)
+        request.submitted_at = time.perf_counter()
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            with self._lock:
+                self.stats.rejected_overload += 1
+            obs.inc("service.rejected.overload")
+            record_incident(
+                "service-overload", "service",
+                f"request queue full (depth {self.config.queue_depth}); "
+                f"rejected {request.kind} from {request.session}",
+                session=request.session, request_kind=request.kind,
+                queue_depth=self.config.queue_depth)
+            raise ServiceOverload(
+                f"request queue full (depth {self.config.queue_depth})",
+                session=request.session,
+                queue_depth=self.config.queue_depth) from None
+        with self._lock:
+            self.stats.submitted += 1
+        obs.inc("service.submitted")
+        obs.set_gauge("service.queue_depth", self._queue.qsize())
+        return request.future
+
+    def _session_budget(self, name: str
+                        ) -> tuple[int, Optional[int]]:
+        session = self._sessions.get(name)
+        if session is None:
+            return 0, None
+        return session.spent_units, session.budget_units
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            request = self._queue.get()
+            if request is _SENTINEL:
+                return
+            obs.set_gauge("service.queue_depth", self._queue.qsize())
+            try:
+                with obs.span("service.request", component="service",
+                              kind=request.kind, session=request.session):
+                    result = self._execute(request)
+            except BaseException as exc:  # noqa: BLE001 — future carries it
+                request.future.set_exception(exc)
+            else:
+                self._charge(request, result)
+                with self._lock:
+                    self.stats.completed += 1
+                obs.inc("service.completed")
+                _observe_latency(request)
+                request.future.set_result(result)
+
+    def _charge(self, request: _Request, result) -> None:
+        """Post-completion budget accounting.
+
+        Charged *after* execution (translate requests only — they are
+        the metered work) so the budget never leaks into
+        ``TranslationOptions`` and therefore never perturbs the cache
+        digest that cross-session dedup keys on.
+        """
+        if request.kind != "translate":
+            return
+        session = self._sessions.get(request.session)
+        if session is not None and isinstance(result, TranslationResult):
+            with self._lock:
+                session.spent_units += result.meter.total_units()
+
+    def _execute(self, request: _Request):
+        if request.kind == "translate":
+            return self._execute_translate(request)
+        if self._pool is not None:
+            return self._in_pool(request.kind, request.payload)
+        return _execute_local(request.kind, request.payload)
+
+    def _execute_translate(self, request: _Request):
+        loop, config, options = request.payload
+        key = translation_key(loop, config, options)
+        leader = False
+        with self._lock:
+            if key in self._done_keys:
+                event = None          # already translated: cache serve
+            elif key in self._inflight:
+                event = self._inflight[key]
+            else:
+                event = self._inflight[key] = threading.Event()
+                leader = True
+        if leader:
+            try:
+                if self._pool is not None:
+                    result = self._in_pool("translate", request.payload)
+                else:
+                    result = translate_loop(loop, config, options)
+            finally:
+                with self._lock:
+                    self._done_keys.add(key)
+                    self._inflight.pop(key, None).set()
+            with self._lock:
+                self.stats.translated += 1
+            obs.inc("service.translated")
+            return result
+        if event is not None:
+            event.wait()
+        # Follower: the shared cache now holds the core entry, so this
+        # re-translation is a cache hit plus this request's *own*
+        # capacity finalization — correct even when the duplicate asked
+        # with a different register file than the leader.
+        with self._lock:
+            self.stats.dedup_hits += 1
+        obs.inc("service.dedup_hits")
+        return translate_loop(loop, config, options)
+
+    def _in_pool(self, kind: str, payload: tuple):
+        future = self._pool.submit(_pool_task, kind, payload,
+                                   self._cache_hints(kind, payload))
+        result, entries, perf_delta, obs_delta = future.result()
+        cache = perf.translation_cache()
+        for key, entry in entries.items():
+            cache.seed(key, entry)
+        perf.merge_counters(perf_delta)
+        obs.merge_metrics(obs_delta)
+        return result
+
+    def _cache_hints(self, kind: str, payload: tuple) -> dict:
+        """Shared-code-cache entries to ship with a pool request.
+
+        Pool children have their own cache instances; a request whose
+        translation the service already holds must not be translated
+        again in a cold child — the parent sends the entry along and
+        the child seeds it, so the child's lookup is the same cache
+        hit the in-process path would take.
+        """
+        if kind != "run_loop":
+            return {}
+        loop, accelerator, options, _scalars, _seed = payload
+        if accelerator is None:
+            return {}
+        key = translation_key(loop, accelerator, options)
+        entry = perf.translation_cache().peek(key)
+        return {} if entry is None else {key: entry}
+
+
+# -- execution bodies (shared by in-process and pool paths) -------------------
+
+def _execute_local(kind: str, payload: tuple):
+    if kind == "translate":
+        loop, config, options = payload
+        return translate_loop(loop, config, options)
+    if kind == "run_loop":
+        from repro.cpu.pipeline import ARM11
+        from repro.vm.runtime import VMConfig, VirtualMachine
+        loop, accelerator, options, scalars, seed = payload
+        vm = VirtualMachine(VMConfig(cpu=ARM11, accelerator=accelerator,
+                                     options=options))
+        return vm.run_loop(loop, scalars=scalars, seed=seed)
+    if kind == "figure":
+        from repro.experiments.figures import FIGURES
+        (name,) = payload
+        _description, fn = FIGURES[name]
+        return fn()
+    if kind == "suite":
+        from repro.api import run_suite
+        config, benchmarks, annotate = payload
+        return run_suite(config, benchmarks=benchmarks, annotate=annotate)
+    raise ValueError(f"unknown request kind {kind!r}")
+
+
+def _pool_init() -> None:
+    os.environ[perf.IN_WORKER_ENV] = "1"
+
+
+def _pool_task(kind: str, payload: tuple, hints: Optional[dict] = None):
+    """Top-level (picklable) pool body.
+
+    Seeds the parent's shipped cache ``hints`` first (the shared code
+    cache follows the request into the child), then ships home
+    everything the parent must merge for aggregate state to match a
+    serial run: the result, the cache entries this task newly computed
+    (the parent *seeds* them — stats-neutral — so followers and later
+    sessions hit them in-process), and the perf/obs counter deltas,
+    mirroring ``parallel_map``'s worker accounting.
+    """
+    cache = perf.translation_cache()
+    for key, entry in (hints or {}).items():
+        cache.seed(key, entry)
+    before_keys = set(cache._entries)
+    perf_before = perf.counter_snapshot()
+    obs_before = obs.metrics_snapshot()
+    result = _execute_local(kind, payload)
+    new_entries = {key: cache._entries[key]
+                   for key in set(cache._entries) - before_keys}
+    return (result, new_entries, perf.counter_delta(perf_before),
+            obs.metrics_delta(obs_before))
+
+
+def _observe_latency(request: _Request) -> None:
+    """Power-of-two-bucketed request latency histogram (exact-count
+    histograms need bounded cardinality; sub-ms work lands in 1)."""
+    elapsed_ms = (time.perf_counter() - request.submitted_at) * 1000.0
+    bucket = 1
+    while bucket < elapsed_ms and bucket < 1 << 20:
+        bucket <<= 1
+    obs.observe(f"service.latency_ms.{request.kind}", bucket)

@@ -490,6 +490,11 @@ def _translate_core(loop: Loop, core_config: LAConfig,
 
     meter = TranslationMeter(budget_units=options.work_budget)
     entry = CoreEntry(loop_name=loop.name)
+    # One increment per *actual* pipeline execution.  Unlike
+    # ``translator.translations`` (per call, cache hits included) this
+    # is the counter that proves single-flight dedup: N concurrent
+    # submissions of one digest must move it by exactly 1.
+    obs.inc("translator.core_runs")
 
     def _on_requirements(registers) -> None:
         entry.requirements = registers

@@ -1,0 +1,173 @@
+"""The ``repro.api`` facade: Settings, Session, shims, exports."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.api import Session, Settings
+from repro.deprecation import reset_warned
+from repro.errors import SettingsError
+from repro.vm.translator import TranslationOptions, translate_loop
+from repro.workloads import kernels as K
+from repro.workloads.suite import Benchmark
+
+
+def tiny_benchmark() -> Benchmark:
+    return Benchmark(name="tiny", suite="test",
+                     kernels=[K.checksum(trip_count=64, invocations=2)],
+                     acyclic_fraction=0.0)
+
+
+# -- Settings -----------------------------------------------------------------
+
+class TestSettings:
+    def test_defaults(self):
+        settings = Settings.from_env({})
+        assert settings == Settings(jobs=1, engine=True, cache_dir=None,
+                                    trace_path=None, incident_log=None)
+
+    def test_env_values(self):
+        settings = Settings.from_env({
+            "REPRO_JOBS": "3", "REPRO_ENGINE": "0",
+            "REPRO_CACHE_DIR": "/tmp/c", "REPRO_TRACE": "/tmp/t.jsonl",
+            "REPRO_INCIDENT_LOG": "/tmp/i.jsonl"})
+        assert settings.jobs == 3
+        assert settings.engine is False
+        assert settings.cache_dir == "/tmp/c"
+        assert settings.trace_path == "/tmp/t.jsonl"
+        assert settings.incident_log == "/tmp/i.jsonl"
+
+    def test_overrides_beat_env(self):
+        settings = Settings.from_env(
+            {"REPRO_JOBS": "2", "REPRO_CACHE_DIR": "/tmp/env"},
+            jobs=4, cache_dir="/tmp/flag")
+        assert settings.jobs == 4
+        assert settings.cache_dir == "/tmp/flag"
+
+    @pytest.mark.parametrize("raw", ["abc", "1.5", "", " "])
+    def test_bad_env_jobs_raise(self, raw):
+        with pytest.raises(SettingsError) as info:
+            Settings.from_env({"REPRO_JOBS": raw or "x"})
+        assert info.value.kind == "settings"
+        assert "REPRO_JOBS" in str(info.value)
+
+    def test_bad_jobs_override_raises(self):
+        with pytest.raises(SettingsError) as info:
+            Settings.from_env({}, jobs="zero")
+        assert "--jobs" in str(info.value)
+        with pytest.raises(SettingsError):
+            Settings.from_env({}, jobs=0)
+
+    def test_apply_pushes_jobs_and_engine(self):
+        from repro import perf
+        jobs_before, engine_before = perf.get_jobs(), perf.engine_enabled()
+        try:
+            Settings(jobs=2, engine=False).apply()
+            assert perf.get_jobs() == 2
+            assert not perf.engine_enabled()
+        finally:
+            perf.set_jobs(jobs_before)
+            perf.set_engine_enabled(engine_before)
+
+
+# -- Session / one-shot helpers ----------------------------------------------
+
+class TestSessionEquivalence:
+    def test_translate_matches_direct_call(self):
+        from repro.accelerator import PROPOSED_LA
+        loop = K.fir_filter(taps=4)
+        via_api = api.translate(loop)
+        direct = translate_loop(loop, PROPOSED_LA, TranslationOptions())
+        assert via_api.ok and direct.ok
+        assert via_api.image.ii == direct.image.ii
+        assert via_api.image.schedule.times == direct.image.schedule.times
+        assert via_api.meter.total_units() == direct.meter.total_units()
+
+    def test_run_loop_matches_vm(self):
+        from repro.accelerator import PROPOSED_LA
+        from repro.cpu import ARM11
+        from repro.vm import VMConfig, VirtualMachine
+        loop = K.checksum(trip_count=64)
+        config = VMConfig(cpu=ARM11, accelerator=PROPOSED_LA)
+        direct = VirtualMachine(config).run_loop(loop)
+        assert Session().run_loop(loop) == direct
+        assert api.run_loop(loop) == direct
+
+    def test_scalar_session_is_explicit(self):
+        session = Session(accelerator=None)
+        outcome = session.run_loop(K.checksum(trip_count=64))
+        assert not outcome.accelerated
+        with pytest.raises(ValueError):
+            session.translate(K.checksum(trip_count=64))
+
+    def test_run_suite_matches_internal(self):
+        from repro.experiments.common import _run_suite
+        bench = tiny_benchmark()
+        runs = api.run_suite(benchmarks=[bench])
+        direct = _run_suite(Session().vm_config(), benchmarks=[bench])
+        assert runs.keys() == direct.keys()
+        assert runs["tiny"].total_cycles == direct["tiny"].total_cycles
+
+    def test_run_figure_unknown_name(self):
+        with pytest.raises(KeyError):
+            api.run_figure("not-a-figure")
+
+    def test_figures_lists_known_names(self):
+        names = api.figures()
+        assert "fig2" in names and "fig10" in names
+        assert all(isinstance(d, str) and d for d in names.values())
+
+
+# -- deprecation shims --------------------------------------------------------
+
+class TestShims:
+    def test_shim_warns_exactly_once(self):
+        from repro.experiments.common import run_suite as shimmed
+        reset_warned()
+        bench = tiny_benchmark()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = shimmed(Session().vm_config(), benchmarks=[bench])
+            second = shimmed(Session().vm_config(), benchmarks=[bench])
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)
+                        and "run_suite" in str(w.message)]
+        assert len(deprecations) == 1
+        assert "repro.api.run_suite" in str(deprecations[0].message)
+        assert first["tiny"].total_cycles == second["tiny"].total_cycles
+
+    def test_sweep_shims_point_at_api(self):
+        from repro.experiments import sweeps
+        reset_warned()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sweeps.fraction_of_infinite(
+                Session().accelerator, benchmarks=[tiny_benchmark()])
+        messages = [str(w.message) for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+        assert any("repro.api.fraction_of_infinite" in m for m in messages)
+
+
+# -- package exports ----------------------------------------------------------
+
+class TestExports:
+    def test_package_all_resolves(self):
+        import repro
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_api_all_resolves(self):
+        for name in api.__all__:
+            assert hasattr(api, name), name
+
+    def test_service_is_lazy_but_importable(self):
+        import repro
+        assert repro.service.LoopService is not None
+
+    def test_unknown_attribute_raises(self):
+        import repro
+        with pytest.raises(AttributeError):
+            repro.no_such_name
