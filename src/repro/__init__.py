@@ -70,6 +70,7 @@ from repro import obs, perf, workloads
 from repro.api import (
     Session,
     Settings,
+    connect,
     figures,
     run_figure,
     run_loop,
@@ -88,7 +89,8 @@ __all__ = [
     "ReproError", "ServiceError", "ServiceOverload", "Session",
     "Settings", "SettingsError", "TranslationError", "TranslationOptions",
     "VMConfig", "VirtualMachine", "accelerator_area", "build_dfg",
-    "figures", "incident_log", "obs", "perf", "record_incident",
+    "connect", "figures", "incident_log", "obs", "perf",
+    "record_incident",
     "run_figure", "run_loop", "run_suite", "service", "sweep",
     "translate", "translate_loop", "workloads",
 ]

@@ -44,6 +44,10 @@ ENGINE_ENV = "REPRO_ENGINE"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 TRACE_ENV = "REPRO_TRACE"
 INCIDENT_LOG_ENV = "REPRO_INCIDENT_LOG"
+SERVICE_HOST_ENV = "REPRO_SERVICE_HOST"
+SERVICE_PORT_ENV = "REPRO_SERVICE_PORT"
+RETRY_ATTEMPTS_ENV = "REPRO_RETRY_ATTEMPTS"
+RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
 
 
 def _default_accelerator() -> LAConfig:
@@ -78,6 +82,13 @@ class Settings:
     trace_path: Optional[str] = None
     #: JSONL incident-log sink (None = in-memory only).
     incident_log: Optional[str] = None
+    #: Network service endpoint for :func:`connect` / ``serve --port``.
+    service_host: str = "127.0.0.1"
+    #: 0 = pick a free ephemeral port when serving.
+    service_port: int = 0
+    #: Network client retry policy (attempts and backoff base).
+    retry_attempts: int = 5
+    retry_backoff_s: float = 0.02
 
     @classmethod
     def from_env(cls, environ: Optional[Mapping[str, str]] = None, *,
@@ -85,7 +96,12 @@ class Settings:
                  engine: Optional[bool] = None,
                  cache_dir: Optional[str] = None,
                  trace_path: Optional[str] = None,
-                 incident_log: Optional[str] = None) -> "Settings":
+                 incident_log: Optional[str] = None,
+                 service_host: Optional[str] = None,
+                 service_port: Optional[int | str] = None,
+                 retry_attempts: Optional[int | str] = None,
+                 retry_backoff_s: Optional[float | str] = None
+                 ) -> "Settings":
         """Load settings from *environ* (default ``os.environ``).
 
         Explicit keyword overrides (e.g. a ``--jobs`` CLI flag) win
@@ -102,12 +118,26 @@ class Settings:
             job_count = cls._parse_jobs(raw, JOBS_ENV) if raw else 1
         if engine is None:
             engine = env.get(ENGINE_ENV, "1") not in ("0", "false")
+        if service_port is None:
+            service_port = env.get(SERVICE_PORT_ENV, 0)
+        if retry_attempts is None:
+            retry_attempts = env.get(RETRY_ATTEMPTS_ENV, 5)
+        if retry_backoff_s is None:
+            retry_backoff_s = env.get(RETRY_BACKOFF_ENV, 0.02)
         return cls(
             jobs=job_count,
             engine=engine,
             cache_dir=cache_dir or env.get(CACHE_DIR_ENV) or None,
             trace_path=trace_path or env.get(TRACE_ENV) or None,
             incident_log=incident_log or env.get(INCIDENT_LOG_ENV) or None,
+            service_host=(service_host or env.get(SERVICE_HOST_ENV)
+                          or "127.0.0.1"),
+            service_port=cls._parse_int(service_port, SERVICE_PORT_ENV,
+                                        minimum=0, maximum=65535),
+            retry_attempts=cls._parse_int(retry_attempts,
+                                          RETRY_ATTEMPTS_ENV, minimum=1),
+            retry_backoff_s=cls._parse_seconds(retry_backoff_s,
+                                               RETRY_BACKOFF_ENV),
         )
 
     @staticmethod
@@ -123,6 +153,43 @@ class Settings:
                 f"{source} must be >= 1, got {jobs}",
                 name=source, value=str(value))
         return jobs
+
+    @staticmethod
+    def _parse_int(value: int | str, source: str, minimum: int = 0,
+                   maximum: Optional[int] = None) -> int:
+        try:
+            parsed = int(value)
+        except (TypeError, ValueError):
+            raise SettingsError(
+                f"{source} must be an integer, got {value!r}",
+                name=source, value=str(value)) from None
+        if parsed < minimum or (maximum is not None and parsed > maximum):
+            bound = (f"{minimum}..{maximum}" if maximum is not None
+                     else f">= {minimum}")
+            raise SettingsError(
+                f"{source} must be {bound}, got {parsed}",
+                name=source, value=str(value))
+        return parsed
+
+    @staticmethod
+    def _parse_seconds(value: float | str, source: str) -> float:
+        try:
+            parsed = float(value)
+        except (TypeError, ValueError):
+            raise SettingsError(
+                f"{source} must be a number of seconds, got {value!r}",
+                name=source, value=str(value)) from None
+        if parsed < 0:
+            raise SettingsError(
+                f"{source} must be >= 0, got {parsed}",
+                name=source, value=str(value))
+        return parsed
+
+    def retry_policy(self):
+        """The network client retry policy these settings describe."""
+        from repro.service.client import RetryPolicy
+        return RetryPolicy(attempts=self.retry_attempts,
+                           base_delay_s=self.retry_backoff_s)
 
     def apply(self) -> "Settings":
         """Push these settings into the global switches.
@@ -293,6 +360,26 @@ def run_figure(name: str, jobs: Optional[int] = None) -> str:
     return fn()
 
 
+def connect(host: Optional[str] = None, port: Optional[int] = None,
+            settings: Optional[Settings] = None, **client_kwargs: Any):
+    """A :class:`~repro.service.client.LoopClient` for a served stack.
+
+    Endpoint and retry policy default to *settings* (or the
+    environment: ``REPRO_SERVICE_HOST``/``REPRO_SERVICE_PORT``/
+    ``REPRO_RETRY_ATTEMPTS``/``REPRO_RETRY_BACKOFF``); explicit
+    arguments win.  The returned client speaks the framed wire
+    protocol and owns reconnection, retries and admission backoff.
+    """
+    from repro.service.client import LoopClient
+    if settings is None:
+        settings = Settings.from_env()
+    return LoopClient(
+        host if host is not None else settings.service_host,
+        port if port is not None else settings.service_port,
+        retry=client_kwargs.pop("retry", settings.retry_policy()),
+        **client_kwargs)
+
+
 def figures() -> dict[str, str]:
     """Figure name -> one-line description, for discovery."""
     from repro.experiments.figures import FIGURES
@@ -302,6 +389,6 @@ def figures() -> dict[str, str]:
 
 __all__ = [
     "Session", "Settings", "TranslationOptions", "TranslationResult",
-    "VMConfig", "figures", "fraction_of_infinite", "run_figure",
-    "run_loop", "run_suite", "sweep", "translate",
+    "VMConfig", "connect", "figures", "fraction_of_infinite",
+    "run_figure", "run_loop", "run_suite", "sweep", "translate",
 ]

@@ -15,7 +15,9 @@ inspects a kernel's translation without writing code:
     python -m repro trace fig8 --jobs 2        # figure + JSONL span trace
     python -m repro stats TRACE_fig8.jsonl     # summarise a trace file
     python -m repro serve --workers 2          # service smoke: serve + drain
+    python -m repro serve --port 0             # same smoke over TCP loopback
     python -m repro loadgen                    # service scaling/dedup bench
+    python -m repro netchaos -n 20 --seed 2008 # network-fault chaos campaign
 """
 
 from __future__ import annotations
@@ -155,6 +157,55 @@ def cmd_serve(workers: int, sessions: int) -> tuple[str, bool]:
     return "\n".join(lines), ok
 
 
+def cmd_serve_net(host: str, port: int, workers: int,
+                  sessions: int) -> tuple[str, bool]:
+    """The ``serve`` smoke over TCP: boot the network front end, drive
+    the same multi-session translate corpus through ``LoopClient``
+    connections (framed wire protocol, retries, admission hints all
+    exercised on a real socket), and drain.  Returns the printable
+    summary and whether everything was served with zero orphaned
+    connections.
+    """
+    from repro.service.client import LoopClient
+    from repro.service.loadgen import request_corpus
+    from repro.service.net import NetConfig, NetServer
+    from repro.service.server import ServiceConfig
+
+    corpus = request_corpus()
+    served = 0
+    retries = 0
+    server = NetServer(NetConfig(
+        host=host, port=port,
+        service=ServiceConfig(workers=workers))).start()
+    bound = f"{server.host}:{server.port}"
+    try:
+        for i in range(sessions):
+            with LoopClient(server.host, server.port,
+                            session=f"session-{i}") as client:
+                for loop, config, options in corpus:
+                    if client.translate(loop, config, options,
+                                        deadline_s=600.0) is not None:
+                        served += 1
+                retries += client.stats.retries
+    finally:
+        stats = server.stop()
+        orphans = server.active_connections()
+    expected = sessions * len(corpus)
+    lines = [
+        f"service: {workers} worker(s) on {bound}, {sessions} "
+        f"sessions x {len(corpus)} translate requests over TCP",
+        f"  submitted {stats.submitted}  completed {stats.completed}  "
+        f"served {served}/{expected}",
+        f"  core translations {stats.translated}  "
+        f"single-flight dedup hits {stats.dedup_hits}  "
+        f"client transport retries {retries}",
+        f"  drained: {'yes' if stats.drained else 'NO'}  "
+        f"orphaned connections: {orphans}",
+    ]
+    ok = stats.drained and served == expected and orphans == 0
+    return "\n".join(lines), ok
+
+
 def cmd_kernels() -> str:
     from repro.workloads.suite import all_benchmarks
     rows = []
@@ -240,6 +291,12 @@ def main(argv: Optional[list[str]] = None) -> int:
                        help="translation worker processes (default 1)")
     serve.add_argument("--sessions", type=int, default=3,
                        help="concurrent client sessions (default 3)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --port mode "
+                            "(default 127.0.0.1)")
+    serve.add_argument("--port", "-p", type=int, default=None,
+                       help="serve over TCP on this port (0 = pick a "
+                            "free one); omit for the in-process smoke")
     serve.add_argument("--trace", default=None, metavar="PATH",
                        help="also write a JSONL span trace to PATH")
     loadgen = sub.add_parser("loadgen",
@@ -257,6 +314,23 @@ def main(argv: Optional[list[str]] = None) -> int:
     loadgen.add_argument("--output", "-o", default=None,
                          help="JSON report path (default "
                               "benchmarks/results/BENCH_service.json)")
+    netchaos = sub.add_parser("netchaos",
+                              help="seeded network-fault campaign "
+                                   "against the TCP transport")
+    netchaos.add_argument("--faults", "-n", type=int, default=20,
+                          help="minimum wire faults to inject "
+                               "(default 20)")
+    netchaos.add_argument("--seed", type=int, default=2008,
+                          help="campaign RNG seed (default 2008)")
+    netchaos.add_argument("--figure", default="fig2",
+                          help="figure rendered through the faulty "
+                               "transport (default fig2)")
+    netchaos.add_argument("--workdir", default=None,
+                          help="campaign scratch directory (default: a "
+                               "fresh temp dir; holds the JSONL "
+                               "incident log and fault sentinels)")
+    netchaos.add_argument("--trace", default=None, metavar="PATH",
+                          help="also write a JSONL span trace to PATH")
     stats = sub.add_parser("stats",
                            help="summarise a JSONL trace/metrics dump")
     stats.add_argument("path", nargs="?", default=None,
@@ -303,9 +377,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"  {'stats'.ljust(width)}  summarise a JSONL trace/metrics "
               f"dump")
         print(f"  {'serve'.ljust(width)}  loop-acceleration service smoke "
-              f"(serve a workload, drain)")
+              f"(serve a workload, drain; --port for TCP)")
         print(f"  {'loadgen'.ljust(width)}  service load driver "
-              f"(scaling, dedup, identity)")
+              f"(scaling, dedup, identity, saturation)")
+        print(f"  {'netchaos'.ljust(width)}  network-fault campaign "
+              f"(TCP transport)")
         return 0
     if args.command == "kernels":
         print(cmd_kernels())
@@ -376,6 +452,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"trace written to {path}", file=sys.stderr)
         return 0
     if args.command == "serve":
+        def _serve() -> tuple[str, bool]:
+            if args.port is not None:
+                return cmd_serve_net(args.host, args.port,
+                                     args.workers, args.sessions)
+            return cmd_serve(args.workers, args.sessions)
         if args.trace:
             from repro import obs
             obs.start_trace(args.trace)
@@ -385,10 +466,10 @@ def main(argv: Optional[list[str]] = None) -> int:
                 with obs.span("serve", component="cli",
                               workers=args.workers,
                               sessions=args.sessions):
-                    text, ok = cmd_serve(args.workers, args.sessions)
+                    text, ok = _serve()
                 obs.write_metrics_record()
             else:
-                text, ok = cmd_serve(args.workers, args.sessions)
+                text, ok = _serve()
         finally:
             if args.trace:
                 from repro import obs
@@ -397,6 +478,39 @@ def main(argv: Optional[list[str]] = None) -> int:
         if args.trace:
             print(f"trace written to {args.trace}", file=sys.stderr)
         return 0 if ok else 1
+    if args.command == "netchaos":
+        from repro.resilience.netchaos import (
+            NetChaosConfig,
+            format_netchaos,
+            run_netchaos,
+        )
+        config = NetChaosConfig(faults=args.faults, seed=args.seed,
+                                figure=args.figure,
+                                workdir=args.workdir)
+        if args.trace:
+            from repro import obs
+            obs.start_trace(args.trace)
+        try:
+            if args.trace:
+                from repro import obs
+                with obs.span("netchaos", component="cli",
+                              faults=args.faults, seed=args.seed):
+                    report = run_netchaos(
+                        config, progress=lambda msg: print(
+                            f"... {msg}", file=sys.stderr))
+                obs.write_metrics_record()
+            else:
+                report = run_netchaos(
+                    config, progress=lambda msg: print(
+                        f"... {msg}", file=sys.stderr))
+        finally:
+            if args.trace:
+                from repro import obs
+                obs.stop_trace()
+        print(format_netchaos(report))
+        if args.trace:
+            print(f"trace written to {args.trace}", file=sys.stderr)
+        return 0 if report.ok else 1
     if args.command == "loadgen":
         from repro.service.loadgen import (
             DEFAULT_CLIENTS,

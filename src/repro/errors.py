@@ -251,6 +251,27 @@ class ServiceOverload(ServiceError):
         self.queue_depth = queue_depth
 
 
+class AdmissionRejected(ServiceOverload):
+    """Admission control refused a request, with a retry hint.
+
+    Replaces blanket queue-full shedding: the decision tag says *why*
+    (``queue-full``, ``throttled``, ``shed-low-priority``,
+    ``saturated``) and ``retry_after`` tells a well-behaved client how
+    long to back off before resubmitting.  Subclasses
+    :class:`ServiceOverload` so existing backpressure handlers keep
+    working; the matching incident record carries the same queue
+    depth / session / decision triple for post-hoc diagnosis.
+    """
+
+    kind = "admission-rejected"
+
+    def __init__(self, message: str, decision: str = "queue-full",
+                 retry_after: float = 0.0, **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.decision = decision
+        self.retry_after = retry_after
+
+
 class SessionBudgetExceeded(ServiceOverload):
     """A session spent its translation-work budget; request rejected.
 
@@ -268,6 +289,60 @@ class SessionBudgetExceeded(ServiceOverload):
         super().__init__(message, **kw)
         self.budget_units = budget_units
         self.spent_units = spent_units
+
+
+# -- network transport failures -----------------------------------------------
+
+class TransportError(ServiceError):
+    """The network transport to/from the service failed.
+
+    Connection refused/reset, a read or connect deadline expired, or
+    the retry budget ran out.  Transport failures say nothing about
+    the *request*: thanks to single-flight dedup keyed on the
+    content-addressed transcache digest, resubmitting an identical
+    request is always safe (exactly-once translation), which is what
+    lets :class:`~repro.service.client.LoopClient` retry these
+    mechanically.
+    """
+
+    kind = "transport"
+
+    def __init__(self, message: str, op: Optional[str] = None,
+                 attempts: int = 0, **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.op = op
+        self.attempts = attempts
+
+
+class ProtocolError(TransportError):
+    """A wire frame violated the framed/checksummed protocol.
+
+    ``reason`` is a stable sub-tag mirroring the disk-cache integrity
+    taxonomy: ``bad-magic``, ``version-mismatch``, ``truncated``,
+    ``checksum-mismatch``, ``empty-payload``, ``oversize`` or
+    ``bad-json``.  A protocol error means the stream can no longer be
+    trusted to be frame-aligned, so both sides respond by closing the
+    connection; the retrying client then reconnects cleanly.
+    """
+
+    kind = "protocol"
+
+    def __init__(self, message: str, reason: Optional[str] = None,
+                 **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.reason = reason
+
+
+class CircuitOpenError(TransportError):
+    """The client's circuit breaker is open; the call failed fast.
+
+    After ``breaker_threshold`` consecutive transport failures the
+    client stops hammering a dead or struggling server and fails
+    immediately until the cooldown elapses (then one half-open probe
+    is allowed through).
+    """
+
+    kind = "circuit-open"
 
 
 # -- infrastructure failures --------------------------------------------------
@@ -361,11 +436,14 @@ class WorkerStallError(InfrastructureError):
 
 __all__ = [
     "AcceleratorFault",
+    "AdmissionRejected",
     "CacheConfigError",
     "CacheIntegrityError",
+    "CircuitOpenError",
     "ExecutionError",
     "GuardViolation",
     "InfrastructureError",
+    "ProtocolError",
     "RegisterPressureError",
     "ReproError",
     "ResourceClassError",
@@ -379,6 +457,7 @@ __all__ = [
     "StreamLimitError",
     "TranslationBudgetExceeded",
     "TranslationError",
+    "TransportError",
     "WorkerLostError",
     "WorkerStallError",
     "WorkerTaskError",

@@ -45,10 +45,15 @@ class FigureBench:
     reference_s: Optional[float]
     engine_s: float
     warm_s: float
-    #: reference / engine-cold wall clock; None when --skip-reference.
+    #: reference / engine-cold wall clock; None only when no reference
+    #: is available at all (skipped AND no committed baseline).
     speedup: Optional[float]
     #: Figure text identical across every pass that ran.
     identical: bool
+    #: "measured" when the reference pass ran this invocation;
+    #: "baseline" when ``--skip-reference`` reused the wall clock from
+    #: the last committed report; None when neither was available.
+    reference_source: Optional[str] = "measured"
 
 
 @dataclass
@@ -75,6 +80,27 @@ def _figure_registry() -> dict[str, Callable[[], str]]:
     from repro.cli import FIGURES
     return {name: fn for name, (_desc, fn) in FIGURES.items()
             if name != "all"}
+
+
+def _baseline_references(path: str = DEFAULT_OUTPUT) -> dict[str, float]:
+    """Measured reference wall clocks from the last committed report.
+
+    ``--skip-reference`` used to leave ``speedup: null``; instead the
+    engine passes are compared against the baseline's *measured*
+    reference times (never against another baseline-sourced number, so
+    stale chains cannot form).  Missing/unreadable report: empty dict.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+        return {
+            f["name"]: float(f["reference_s"])
+            for f in payload.get("figures", [])
+            if f.get("reference_s") is not None
+            and f.get("reference_source", "measured") == "measured"
+        }
+    except (OSError, ValueError, KeyError, TypeError):
+        return {}
 
 
 def _timed(fn: Callable[[], str], name: str = "",
@@ -115,6 +141,9 @@ def run_bench(figures: Optional[list[str]] = None,
     # so per-figure speedups are an honest like-for-like comparison.
     reference_times: dict[str, float] = {}
     reference_texts: dict[str, str] = {}
+    baseline_refs: dict[str, float] = {}
+    if skip_reference:
+        baseline_refs = _baseline_references()
     if not skip_reference:
         perf.clear_caches()
         previous_jobs = perf.get_jobs()
@@ -143,6 +172,10 @@ def run_bench(figures: Optional[list[str]] = None,
         note(f"{name}: engine warm")
         warm_s, warm_text = _timed(registry[name], name, "warm")
         reference_s = reference_times.get(name)
+        source = "measured" if reference_s is not None else None
+        if reference_s is None and name in baseline_refs:
+            reference_s = baseline_refs[name]
+            source = "baseline"
         engine_s = engine_times[name]
         texts = [t for t in (reference_texts.get(name),
                              engine_texts[name], warm_text)
@@ -152,7 +185,8 @@ def run_bench(figures: Optional[list[str]] = None,
                    if reference_s is not None and engine_s > 0 else None)
         results.append(FigureBench(
             name=name, reference_s=reference_s, engine_s=engine_s,
-            warm_s=warm_s, speedup=speedup, identical=identical))
+            warm_s=warm_s, speedup=speedup, identical=identical,
+            reference_source=source))
 
     swept = [f for f in results if f.name in SWEEP_FIGURES]
     sweep_ref = (sum(f.reference_s for f in swept)
@@ -189,6 +223,13 @@ def write_report(report: BenchReport,
             "reference_s": report.sweep_reference_s,
             "engine_s": report.sweep_engine_s,
             "speedup": report.sweep_speedup,
+            "reference_source": (
+                "baseline" if any(f.reference_source == "baseline"
+                                  for f in report.figures)
+                else "measured" if any(
+                    f.reference_source == "measured"
+                    for f in report.figures)
+                else None),
         },
         "all_identical": report.all_identical,
         "jobs": report.jobs,
@@ -209,13 +250,18 @@ def write_report(report: BenchReport,
 def format_bench(report: BenchReport) -> str:
     from repro.experiments.common import format_table, fmt
     rows = []
+    baseline_used = False
     for f in report.figures:
+        star = "*" if f.reference_source == "baseline" else ""
+        baseline_used = baseline_used or bool(star)
         rows.append((
             f.name,
-            fmt(f.reference_s, 2) if f.reference_s is not None else "-",
+            (fmt(f.reference_s, 2) + star)
+            if f.reference_s is not None else "-",
             fmt(f.engine_s, 2),
             fmt(f.warm_s, 2),
-            f"{f.speedup:.2f}x" if f.speedup is not None else "-",
+            (f"{f.speedup:.2f}x" + star)
+            if f.speedup is not None else "-",
             "yes" if f.identical else "NO",
         ))
     table = format_table(
@@ -223,6 +269,9 @@ def format_bench(report: BenchReport) -> str:
          "speedup", "identical"],
         rows, title="Experiment engine benchmark")
     lines = [table]
+    if baseline_used:
+        lines.append("* reference wall clock reused from the last "
+                     "committed baseline (--skip-reference)")
     if report.sweep_speedup is not None:
         lines.append(
             f"design-space sweeps ({', '.join(SWEEP_FIGURES)}): "

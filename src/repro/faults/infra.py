@@ -44,6 +44,13 @@ class InfraFaultMode(enum.Enum):
     CACHE_FLIP = "cache-flip"
     CACHE_HEADER = "cache-header"
     CACHE_STALE_VERSION = "cache-stale-version"
+    # Network transport faults (PR 6): applied by the TCP server's
+    # response path to attack the wire the retrying client depends on.
+    NET_RESET = "net-reset"            # abort mid-frame (RST)
+    NET_CORRUPT = "net-corrupt"        # flip a payload byte
+    NET_TRUNCATE = "net-truncate"      # send a prefix, then close
+    NET_STALL = "net-stall"            # hold the response past deadline
+    NET_DROP = "net-drop"              # never send the response
 
 
 #: The corruption modes :func:`corrupt_entry` can apply in place.
@@ -51,6 +58,13 @@ CORRUPTION_MODES = (InfraFaultMode.CACHE_TRUNCATE,
                     InfraFaultMode.CACHE_FLIP,
                     InfraFaultMode.CACHE_HEADER,
                     InfraFaultMode.CACHE_STALE_VERSION)
+
+#: The wire faults the network chaos campaign injects server-side.
+NET_FAULT_MODES = (InfraFaultMode.NET_RESET,
+                   InfraFaultMode.NET_CORRUPT,
+                   InfraFaultMode.NET_TRUNCATE,
+                   InfraFaultMode.NET_STALL,
+                   InfraFaultMode.NET_DROP)
 
 
 @dataclass(frozen=True)
@@ -67,17 +81,21 @@ class InfraFaultSpec:
     token: str
     task_index: Optional[int] = None
     io_op: Optional[str] = None
+    #: Stall duration for ``NET_STALL`` (seconds).
+    delay_s: Optional[float] = None
 
     def to_json(self) -> dict:
         return {"mode": self.mode.value, "token": self.token,
-                "task_index": self.task_index, "io_op": self.io_op}
+                "task_index": self.task_index, "io_op": self.io_op,
+                "delay_s": self.delay_s}
 
     @staticmethod
     def from_json(data: dict) -> "InfraFaultSpec":
         return InfraFaultSpec(mode=InfraFaultMode(data["mode"]),
                               token=data["token"],
                               task_index=data.get("task_index"),
-                              io_op=data.get("io_op"))
+                              io_op=data.get("io_op"),
+                              delay_s=data.get("delay_s"))
 
 
 # -- arming (environment-carried, so workers inherit it) ----------------------
@@ -164,6 +182,24 @@ def check_io(op: str, path: str) -> None:
                 and _claim(state_dir, spec.token)):
             raise OSError(f"injected I/O fault {spec.token} "
                           f"({op} {os.path.basename(path)})")
+
+
+def claim_net_fault() -> Optional[InfraFaultSpec]:
+    """Called by the TCP server just before writing a response frame.
+
+    Returns the first still-unfired armed network fault (claiming its
+    fire-once sentinel), or None.  The server applies the mode —
+    abort, corrupt, truncate, stall or drop — and records the matching
+    incident, so every fired wire fault is attributable in the
+    incident log by its token.
+    """
+    state_dir, specs = _armed()
+    if state_dir is None:
+        return None
+    for spec in specs:
+        if spec.mode in NET_FAULT_MODES and _claim(state_dir, spec.token):
+            return spec
+    return None
 
 
 # -- parent-side cache corruption ---------------------------------------------

@@ -17,6 +17,16 @@ package realises that posture at the process level:
 * :mod:`~repro.service.loadgen` — a synthetic multi-client load driver
   (``python -m repro loadgen``) that measures throughput scaling with
   worker count and proves the dedup/identity contracts.
+* :mod:`~repro.service.net` / :mod:`~repro.service.client` — the TCP
+  front end (``python -m repro serve --port``): a length-framed,
+  checksummed wire protocol (:mod:`~repro.service.wire`), a
+  :class:`~repro.service.net.NetServer` wrapping the service behind a
+  socket, and a :class:`~repro.service.client.LoopClient` that owns
+  deadlines, retries with seeded jittered backoff, idempotent
+  resubmission and circuit breaking so callers see the session API.
+* :mod:`~repro.service.admission` — the degradation ladder: per-session
+  token buckets, queue-depth watermarks that shed low-priority and
+  uncached work first, and ``retry_after`` hints on every rejection.
 
 The service composes the existing layers rather than bypassing them:
 results come from the same :func:`repro.vm.translator.translate_loop`
@@ -29,11 +39,22 @@ byte-identical to it), requests run under :mod:`repro.obs` spans and
 from __future__ import annotations
 
 from repro.errors import (
+    AdmissionRejected,
+    CircuitOpenError,
+    ProtocolError,
     ServiceClosed,
     ServiceError,
     ServiceOverload,
     SessionBudgetExceeded,
+    TransportError,
 )
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    TokenBucket,
+)
+from repro.service.client import ClientStats, LoopClient, RetryPolicy
+from repro.service.net import NetConfig, NetServer
 from repro.service.server import (
     LoopService,
     ServiceConfig,
@@ -42,7 +63,10 @@ from repro.service.server import (
 )
 
 __all__ = [
-    "LoopService", "ServiceClosed", "ServiceConfig", "ServiceError",
-    "ServiceOverload", "ServiceSession", "ServiceStats",
-    "SessionBudgetExceeded",
+    "AdmissionController", "AdmissionPolicy", "AdmissionRejected",
+    "CircuitOpenError", "ClientStats", "LoopClient", "LoopService",
+    "NetConfig", "NetServer", "ProtocolError", "RetryPolicy",
+    "ServiceClosed", "ServiceConfig", "ServiceError", "ServiceOverload",
+    "ServiceSession", "ServiceStats", "SessionBudgetExceeded",
+    "TokenBucket", "TransportError",
 ]

@@ -36,7 +36,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro import obs, perf
-from repro.errors import ServiceOverload
+from repro.errors import (AdmissionRejected, ServiceOverload,
+                          TransportError)
 from repro.service.server import LoopService, ServiceConfig
 from repro.vm.translator import TranslationOptions, translation_key
 
@@ -73,6 +74,34 @@ def request_corpus() -> list[tuple]:
             for kernel in kernels for config in variants]
 
 
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]); 0.0 on empty input."""
+    if not values:
+        return 0.0
+    ranked = sorted(values)
+    rank = max(1, int(-(-q * len(ranked) // 1)))  # ceil without math
+    return ranked[min(rank, len(ranked)) - 1]
+
+
+class _Tally:
+    """Thread-shared per-run backpressure and latency accounting."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.rejections = 0
+        self.retries = 0
+        self.latencies_ms: list[float] = []
+
+    def rejected(self) -> None:
+        with self._lock:
+            self.rejections += 1
+            self.retries += 1
+
+    def finished(self, started: float) -> None:
+        self.latencies_ms.append(
+            (time.perf_counter() - started) * 1000.0)
+
+
 @dataclass
 class LoadgenRun:
     """One worker-count measurement."""
@@ -87,6 +116,15 @@ class LoadgenRun:
     core_runs: int
     exact_fallbacks: int
     drained: bool
+    #: Client-side backpressure: rejections seen and resubmissions made.
+    rejections: int = 0
+    retries: int = 0
+    #: Decision tag -> count from the service's admission controller.
+    admission: dict = field(default_factory=dict)
+    #: End-to-end request latency percentiles (submit -> result), ms.
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
 
     @property
     def throughput_rps(self) -> float:
@@ -105,6 +143,8 @@ class LoadgenReport:
     runs: list[LoadgenRun] = field(default_factory=list)
     figure_identical: bool = False
     check_figure: str = CHECK_FIGURE
+    #: Degraded-but-progressing evidence from :func:`saturation_probe`.
+    saturation: dict = field(default_factory=dict)
 
     @property
     def dedup_exact(self) -> bool:
@@ -116,7 +156,8 @@ class LoadgenReport:
     def ok(self) -> bool:
         return (self.figure_identical and self.dedup_exact
                 and all(r.drained and r.completed == r.requests
-                        for r in self.runs))
+                        for r in self.runs)
+                and self.saturation.get("ok", True))
 
 
 def run_kernels(count: int = DEFAULT_RUN_KERNELS) -> list:
@@ -128,26 +169,42 @@ def run_kernels(count: int = DEFAULT_RUN_KERNELS) -> list:
     return kernels[::stride][:count]
 
 
-def _submit(futures: list, submit_one: Callable[[], object]) -> None:
-    """One submission, honouring overload backpressure."""
+def _submit(futures: list, submit_one: Callable[[], object],
+            tally: _Tally) -> None:
+    """One submission, honouring the server's retry hints."""
+    started = time.perf_counter()
     while True:
         try:
-            futures.append(submit_one())
-            return
+            future = submit_one()
+        except AdmissionRejected as exc:
+            tally.rejected()
+            # The server said exactly when resubmission has a chance.
+            time.sleep(exc.retry_after or 0.001)
+            continue
         except ServiceOverload:
+            tally.rejected()
             time.sleep(0.001)
+            continue
+        future.add_done_callback(
+            lambda _f, t0=started: tally.finished(t0))
+        futures.append(future)
+        return
 
 
-def _client(session, corpus: list[tuple], futures: list) -> None:
+def _client(session, corpus: list[tuple], futures: list,
+            tally: _Tally) -> None:
     """Submit the shared translate corpus (wave one)."""
     for loop, config, options in corpus:
-        _submit(futures, lambda: session.translate(loop, config, options))
+        _submit(futures,
+                lambda: session.translate(loop, config, options), tally)
 
 
-def _client_heavy(session, heavy: list, seed: int, futures: list) -> None:
+def _client_heavy(session, heavy: list, seed: int, futures: list,
+                  tally: _Tally) -> None:
     """Submit this client's measured executions (wave two)."""
     for kernel in heavy:
-        _submit(futures, lambda: session.run_loop(kernel, seed=seed))
+        _submit(futures, lambda: session.run_loop(kernel, seed=seed),
+                tally)
 
 
 def _one_run(workers: int, corpus: list[tuple], heavy: list,
@@ -163,16 +220,19 @@ def _one_run(workers: int, corpus: list[tuple], heavy: list,
     sessions = [service.open_session(f"client-{i}")
                 for i in range(clients)]
     per_client: list[list] = [[] for _ in sessions]
+    tally = _Tally()
     started = time.perf_counter()
     # Wave one: every client races the shared translate corpus (the
     # single-flight dedup measurement).  Wave two: each client's own
     # measured loop executions, which reuse the translations wave one
     # just populated — the shared-code-cache amortization story.
     waves = [
-        [threading.Thread(target=_client, args=(session, corpus, futures))
+        [threading.Thread(target=_client,
+                          args=(session, corpus, futures, tally))
          for session, futures in zip(sessions, per_client)],
         [threading.Thread(target=_client_heavy,
-                          args=(session, heavy, 1000 + index, futures))
+                          args=(session, heavy, 1000 + index, futures,
+                                tally))
          for index, (session, futures)
          in enumerate(zip(sessions, per_client))],
     ]
@@ -198,24 +258,186 @@ def _one_run(workers: int, corpus: list[tuple], heavy: list,
         core_runs=delta.get("translator.core_runs", 0),
         exact_fallbacks=perf.counter_delta(perf_before)["exact_fallbacks"],
         drained=stats.drained,
+        rejections=tally.rejections,
+        retries=tally.retries,
+        admission=dict(stats.admission),
+        p50_ms=round(percentile(tally.latencies_ms, 0.50), 3),
+        p95_ms=round(percentile(tally.latencies_ms, 0.95), 3),
+        p99_ms=round(percentile(tally.latencies_ms, 0.99), 3),
     )
 
 
 def _figure_via_service(name: str) -> bool:
-    """Byte-identity: the service figure path vs the direct api path."""
+    """Byte-identity: the figure over TCP vs the direct api path."""
     from repro import api
+    from repro.service.client import LoopClient
+    from repro.service.net import NetConfig, NetServer
     perf.clear_caches()
-    with LoopService(ServiceConfig(workers=1)) as service:
-        session = service.open_session("figure-check")
-        served = session.run_figure(name).result(timeout=600)
+    with NetServer(NetConfig(service=ServiceConfig(workers=1))) as server:
+        with LoopClient(server.host, server.port,
+                        session="figure-check") as client:
+            served = client.run_figure(name, deadline_s=1800.0,
+                                       attempt_timeout_s=900.0)
     perf.clear_caches()
     direct = api.run_figure(name)
     return served == direct
 
 
+def saturation_probe(drivers: int = 4, queue_depth: int = 8) -> dict:
+    """Prove the degradation ladder over TCP: saturate a one-worker
+    server with a standing backlog of cached executions, then show
+    that (a) an uncached translate is shed with a positive retry hint,
+    (b) a cached translate still progresses through the saturated
+    queue, and (c) a retrying client honouring the hints eventually
+    lands the shed translate.  Returns the evidence dict for the JSON
+    report.
+    """
+    from repro.accelerator import PROPOSED_LA
+    from repro.service.client import LoopClient, RetryPolicy
+    from repro.service.net import NetConfig, NetServer
+    from repro.service.admission import AdmissionPolicy
+
+    perf.clear_caches()
+    heavy = run_kernels(drivers)
+    warm_kernel = heavy[0]
+    shed_kernel = heavy[-1]
+    # Distinct digests per probe attempt: once a variant is admitted it
+    # is cached, and cached work is *supposed* to dodge the shedding
+    # this probe is trying to observe.
+    shed_variants = [
+        (shed_kernel, PROPOSED_LA.with_(num_int_units=units,
+                                        load_streams=streams),
+         TranslationOptions(priority_kind=kind))
+        for kind in ("swing", "height")
+        for units in (1, 2) for streams in (1, 2)]
+    evidence = {"drivers": drivers, "queue_depth": queue_depth,
+                "shed_seen": False, "retry_hint_s": 0.0,
+                "cached_ok": False, "retried_ok": False,
+                "admission_retries": 0, "admission": {}}
+    # high_watermark 0.25: a couple of queued items already count as
+    # saturation, so the shed window is the whole time the drivers
+    # keep a backlog, not a razor-thin race on the last queue slot.
+    threshold = max(1, int(queue_depth * 0.25))
+    server = NetServer(NetConfig(service=ServiceConfig(
+        workers=1, queue_depth=queue_depth,
+        admission=AdmissionPolicy(high_watermark=0.25)))).start()
+    stop = threading.Event()
+    threads: list[threading.Thread] = []
+    retry_thread: Optional[threading.Thread] = None
+    try:
+        # Pre-warm every driver kernel: driver traffic is then *cached*
+        # work, admitted straight through the watermark (the ladder's
+        # cached bypass), so the drivers can hold the queue saturated
+        # without shedding each other.
+        with LoopClient(server.host, server.port,
+                        session="sat-warm") as warm:
+            for kernel in heavy:
+                warm.translate(kernel, deadline_s=120.0)
+
+        def drive(index: int) -> None:
+            with LoopClient(server.host, server.port,
+                            session=f"sat-driver-{index}",
+                            deadline_s=600.0,
+                            retry=RetryPolicy(attempts=20,
+                                              attempt_timeout_s=120.0)
+                            ) as driver:
+                seed = 4000 + index
+                while not stop.is_set():
+                    driver.run_loop(heavy[index % len(heavy)],
+                                    seed=seed)
+                    seed += drivers
+
+        threads = [threading.Thread(target=drive, args=(i,),
+                                    daemon=True)
+                   for i in range(drivers)]
+        for thread in threads:
+            thread.start()
+
+        # (a) a single-shot client (attempts=1: rejections propagate)
+        # sees its uncached translate shed while the backlog stands.
+        probe = LoopClient(server.host, server.port, session="sat-probe",
+                           deadline_s=120.0,
+                           retry=RetryPolicy(attempts=1,
+                                             attempt_timeout_s=60.0))
+        deadline = time.monotonic() + 30.0
+        backlog = server.service._queue  # intra-package: probe timing
+        variant = 0
+        shed_work = shed_variants[0]
+        while time.monotonic() < deadline and not evidence["shed_seen"]:
+            if backlog.qsize() < threshold:
+                time.sleep(0.002)
+                continue
+            shed_work = shed_variants[variant % len(shed_variants)]
+            variant += 1
+            try:
+                probe.translate(shed_work[0], shed_work[1],
+                                shed_work[2], deadline_s=5.0)
+            except AdmissionRejected as exc:
+                evidence["shed_seen"] = True
+                evidence["retry_hint_s"] = round(exc.retry_after, 6)
+                evidence["decision"] = exc.decision
+            except (ServiceOverload, TransportError):
+                pass  # raced past the watermark: keep probing
+        # (b) cached work must progress through the same saturation.
+        try:
+            cached = probe.translate(warm_kernel, deadline_s=60.0)
+            evidence["cached_ok"] = cached.ok
+        except (ServiceOverload, TransportError):
+            evidence["cached_ok"] = False
+        # (c) a retrying client honouring the hints eventually lands
+        # the request that was just shed.  Started while the drivers
+        # still hold the backlog (so it is rejected at least once),
+        # then the drivers stand down and the queue drains.
+        retrier = LoopClient(server.host, server.port,
+                             session="sat-retry", deadline_s=600.0,
+                             retry=RetryPolicy(attempts=50,
+                                               attempt_timeout_s=120.0))
+        landing: dict = {}
+
+        def retry_shed() -> None:
+            try:
+                landing["result"] = retrier.translate(
+                    shed_work[0], shed_work[1], shed_work[2],
+                    deadline_s=600.0)
+            except Exception as exc:  # noqa: BLE001 — evidence, not control
+                landing["error"] = f"{type(exc).__name__}: {exc}"
+
+        retry_thread = threading.Thread(target=retry_shed, daemon=True)
+        retry_thread.start()
+        hold_until = time.monotonic() + 15.0
+        while (time.monotonic() < hold_until
+               and retrier.stats.admission_retries < 1):
+            time.sleep(0.005)
+        stop.set()
+        retry_thread.join(timeout=300.0)
+        # "Landed" means the request completed through the saturated
+        # service; whether the translation itself schedules is the
+        # kernel's business, not the transport's.
+        evidence["retried_ok"] = "result" in landing
+        if "error" in landing:
+            evidence["retry_error"] = landing["error"]
+        evidence["admission_retries"] = retrier.stats.admission_retries
+        probe.close()
+        retrier.close()
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=300.0)
+        if retry_thread is not None:
+            retry_thread.join(timeout=300.0)
+        stats = server.stop()
+    evidence["admission"] = dict(stats.admission)
+    evidence["ok"] = bool(
+        evidence["shed_seen"] and evidence["retry_hint_s"] > 0.0
+        and evidence["cached_ok"] and evidence["retried_ok"]
+        and evidence["admission_retries"] >= 1)
+    return evidence
+
+
 def run_loadgen(workers=DEFAULT_WORKERS, clients: int = DEFAULT_CLIENTS,
                 run_kernel_count: int = DEFAULT_RUN_KERNELS,
                 queue_depth: int = 64,
+                saturation: bool = True,
                 progress: Optional[Callable[[str], None]] = None
                 ) -> LoadgenReport:
     corpus = request_corpus()
@@ -232,8 +454,12 @@ def run_loadgen(workers=DEFAULT_WORKERS, clients: int = DEFAULT_CLIENTS,
             f"+ {len(heavy)} runs, workers={count}")
         report.runs.append(
             _one_run(count, corpus, heavy, clients, queue_depth))
-    say(f"loadgen: figure identity check ({report.check_figure})")
+    say(f"loadgen: figure identity check over TCP "
+        f"({report.check_figure})")
     report.figure_identical = _figure_via_service(report.check_figure)
+    if saturation:
+        say("loadgen: saturation probe (degraded-but-progressing)")
+        report.saturation = saturation_probe()
     return report
 
 
@@ -248,6 +474,7 @@ def write_report(report: LoadgenReport, path: str = DEFAULT_OUTPUT) -> str:
         "figure_identical": report.figure_identical,
         "check_figure": report.check_figure,
         "ok": report.ok,
+        "saturation": report.saturation,
         "runs": [{
             "workers": r.workers,
             "elapsed_s": round(r.elapsed_s, 4),
@@ -255,6 +482,12 @@ def write_report(report: LoadgenReport, path: str = DEFAULT_OUTPUT) -> str:
             "requests": r.requests,
             "completed": r.completed,
             "rejected_overload": r.rejected_overload,
+            "rejections": r.rejections,
+            "retries": r.retries,
+            "admission": r.admission,
+            "p50_ms": r.p50_ms,
+            "p95_ms": r.p95_ms,
+            "p99_ms": r.p99_ms,
             "translated": r.translated,
             "dedup_hits": r.dedup_hits,
             "core_runs": r.core_runs,
@@ -276,12 +509,15 @@ def format_loadgen(report: LoadgenReport) -> str:
     rows = []
     for r in report.runs:
         rows.append((r.workers, r.requests, f"{r.elapsed_s:.2f}",
-                     f"{r.throughput_rps:.1f}", r.translated,
-                     r.dedup_hits, r.core_runs,
+                     f"{r.throughput_rps:.1f}",
+                     f"{r.p50_ms:.0f}", f"{r.p95_ms:.0f}",
+                     f"{r.p99_ms:.0f}", r.rejections, r.retries,
+                     r.translated, r.dedup_hits, r.core_runs,
                      "yes" if r.drained else "NO"))
     table = format_table(
-        ("workers", "requests", "seconds", "req/s", "translated",
-         "dedup hits", "core runs", "drained"), rows,
+        ("workers", "requests", "seconds", "req/s", "p50ms", "p95ms",
+         "p99ms", "rejected", "retried", "translated", "dedup hits",
+         "core runs", "drained"), rows,
         title=f"service loadgen: {report.clients} clients, "
               f"{report.unique_digests} unique digests, "
               f"{report.cpus} cpu(s)")
@@ -289,8 +525,17 @@ def format_loadgen(report: LoadgenReport) -> str:
     lines.append(f"single-flight dedup exact: "
                  f"{'yes' if report.dedup_exact else 'NO'} "
                  f"(core runs == unique digests, zero exact fallbacks)")
-    lines.append(f"figure {report.check_figure} via service identical: "
+    lines.append(f"figure {report.check_figure} via TCP identical: "
                  f"{'yes' if report.figure_identical else 'NO'}")
+    if report.saturation:
+        sat = report.saturation
+        lines.append(
+            f"saturation probe: shed={'yes' if sat.get('shed_seen') else 'NO'}"
+            f" (hint {sat.get('retry_hint_s', 0.0):.3f}s, decision "
+            f"{sat.get('decision', '-')}), cached progressed="
+            f"{'yes' if sat.get('cached_ok') else 'NO'}, retry landed="
+            f"{'yes' if sat.get('retried_ok') else 'NO'} after "
+            f"{sat.get('admission_retries', 0)} hinted retries")
     if report.cpus <= 1:
         lines.append("note: single-CPU host — worker processes cannot "
                      "run concurrently, so the scaling series shows "

@@ -43,11 +43,12 @@ from typing import Any, Optional
 
 from repro import obs, perf
 from repro.errors import (
+    AdmissionRejected,
     ServiceClosed,
-    ServiceOverload,
     SessionBudgetExceeded,
 )
 from repro.resilience.incidents import record_incident
+from repro.service.admission import AdmissionController, AdmissionPolicy
 from repro.vm.translator import (
     TranslationOptions,
     TranslationResult,
@@ -75,6 +76,9 @@ class ServiceConfig:
     drain_timeout_s: float = 60.0
     #: Optional stack configuration applied at ``start()``.
     settings: Optional[Any] = None
+    #: Graded admission control (token buckets, watermark shedding,
+    #: cached-work passthrough); see :mod:`repro.service.admission`.
+    admission: AdmissionPolicy = AdmissionPolicy()
 
 
 @dataclass
@@ -89,6 +93,10 @@ class ServiceStats:
     translated: int = 0
     dedup_hits: int = 0
     drained: bool = True
+    #: Admission decision tag -> count (``ok``, ``ok-cached``,
+    #: ``queue-full``, ``throttled``, ``shed-low-priority``,
+    #: ``saturated``).
+    admission: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -113,7 +121,8 @@ class ServiceSession:
 
     def __init__(self, service: "LoopService", name: str,
                  accelerator=None, options: Optional[TranslationOptions] = None,
-                 budget_units: Optional[int] = None) -> None:
+                 budget_units: Optional[int] = None,
+                 priority: int = 1) -> None:
         from repro.api import _default_accelerator
         self._service = service
         self.name = name
@@ -122,6 +131,10 @@ class ServiceSession:
         self.options = TranslationOptions() if options is None else options
         self.budget_units = budget_units
         self.spent_units = 0
+        #: Admission priority: sessions below the policy's shed
+        #: threshold are refused first when the queue passes the low
+        #: watermark (0 = best-effort, 1 = standard).
+        self.priority = priority
 
     # Each submit returns a concurrent.futures.Future; admission errors
     # raise synchronously in the caller's thread.
@@ -169,6 +182,8 @@ class LoopService:
         self._inflight: dict[str, threading.Event] = {}
         self._done_keys: set[str] = set()
         self._sessions: dict[str, ServiceSession] = {}
+        self._admission = AdmissionController(config.admission,
+                                              config.queue_depth)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -238,6 +253,7 @@ class LoopService:
         else:
             self._cancel_pending()
         obs.set_gauge("service.queue_depth", 0)
+        self.stats.admission = self._admission.stats.as_dict()
         return self.stats
 
     def _cancel_pending(self) -> None:
@@ -254,7 +270,8 @@ class LoopService:
 
     def open_session(self, name: Optional[str] = None, accelerator=None,
                      options: Optional[TranslationOptions] = None,
-                     budget_units: Optional[int] = None) -> ServiceSession:
+                     budget_units: Optional[int] = None,
+                     priority: int = 1) -> ServiceSession:
         with self._lock:
             if self._closed:
                 raise ServiceClosed("service is closed")
@@ -264,10 +281,23 @@ class LoopService:
         session = ServiceSession(
             self, name or f"session-{count}",
             accelerator=accelerator, options=options,
-            budget_units=budget_units)
+            budget_units=budget_units, priority=priority)
         with self._lock:
             self._sessions[session.name] = session
         return session
+
+    def get_or_open_session(self, name: str, **kwargs) -> ServiceSession:
+        """The session named *name*, creating it on first use.
+
+        Reconnecting network clients resume their session by name so
+        budget accounting and token-bucket state survive a transport
+        failure (the retry/idempotency contract).
+        """
+        with self._lock:
+            existing = self._sessions.get(name)
+        if existing is not None:
+            return existing
+        return self.open_session(name, **kwargs)
 
     def _submit(self, request: _Request) -> Future:
         with self._lock:
@@ -289,28 +319,84 @@ class LoopService:
                     f"session {session} exhausted its translation budget "
                     f"({spent} >= {budget} units)",
                     budget_units=budget, spent_units=spent, session=session)
+        priority = self._session_priority(request.session)
+        qsize = self._queue.qsize()
+        decision = self._admission.admit(
+            request.session, priority, qsize,
+            is_cached=lambda: self._cached_key(request) is not None,
+            queue_full=qsize >= self.config.queue_depth)
+        if not decision.admitted:
+            self._reject(request, decision)
         request.submitted_at = time.perf_counter()
         try:
             self._queue.put_nowait(request)
         except queue.Full:
-            with self._lock:
-                self.stats.rejected_overload += 1
-            obs.inc("service.rejected.overload")
-            record_incident(
-                "service-overload", "service",
-                f"request queue full (depth {self.config.queue_depth}); "
-                f"rejected {request.kind} from {request.session}",
-                session=request.session, request_kind=request.kind,
-                queue_depth=self.config.queue_depth)
-            raise ServiceOverload(
-                f"request queue full (depth {self.config.queue_depth})",
-                session=request.session,
-                queue_depth=self.config.queue_depth) from None
+            # Lost the race for the last physical slot since the check.
+            self._reject(request, self._admission.admit(
+                request.session, priority, self._queue.qsize(),
+                queue_full=True))
         with self._lock:
             self.stats.submitted += 1
         obs.inc("service.submitted")
         obs.set_gauge("service.queue_depth", self._queue.qsize())
         return request.future
+
+    def _reject(self, request: _Request, decision) -> None:
+        """Record one admission rejection and raise it, with the queue
+        depth / session / decision triple on both surfaces so every
+        shed request is diagnosable from the incident log alone."""
+        with self._lock:
+            self.stats.rejected_overload += 1
+            self.stats.admission = self._admission.stats.as_dict()
+        obs.inc("service.rejected.overload")
+        obs.inc(f"service.admission.{decision.decision}")
+        record_incident(
+            "service-overload", "service",
+            f"admission refused {request.kind} from {request.session}: "
+            f"{decision.decision} (queue depth {decision.queue_depth}/"
+            f"{self.config.queue_depth}, retry after "
+            f"{decision.retry_after:.3f}s)",
+            session=request.session, request_kind=request.kind,
+            queue_depth=decision.queue_depth,
+            decision=decision.decision,
+            retry_after=decision.retry_after)
+        raise AdmissionRejected(
+            f"admission refused {request.kind}: {decision.decision} "
+            f"(queue depth {decision.queue_depth}, retry after "
+            f"{decision.retry_after:.3f}s)",
+            decision=decision.decision, retry_after=decision.retry_after,
+            session=request.session,
+            queue_depth=decision.queue_depth) from None
+
+    def _session_priority(self, name: str) -> int:
+        session = self._sessions.get(name)
+        return 1 if session is None else session.priority
+
+    def _cached_key(self, request: _Request) -> Optional[str]:
+        """The request's transcache digest if already translated.
+
+        Only translate/run_loop requests have one; a digest the
+        service has completed (or that the process cache holds) marks
+        the request as cheap cached work the degradation ladder admits
+        even under saturation.
+        """
+        if request.kind == "translate":
+            loop, config, options = request.payload
+        elif request.kind == "run_loop":
+            loop, config, options = request.payload[:3]
+        else:
+            return None
+        if config is None:
+            return None
+        try:
+            key = translation_key(loop, config, options)
+        except Exception:  # noqa: BLE001 — unkeyable: treat as uncached
+            return None
+        with self._lock:
+            if key in self._done_keys:
+                return key
+        return key if perf.translation_cache().peek(key) is not None \
+            else None
 
     def _session_budget(self, name: str
                         ) -> tuple[int, Optional[int]]:

@@ -1,0 +1,263 @@
+"""The framed, checksummed JSON wire protocol of the loop service.
+
+Every message on a service connection — request or response — travels
+as one frame reusing the PR 3 disk-cache frame discipline
+(:mod:`repro.resilience.integrity`), with its own magic:
+
+    ``RVNW`` | version (u32) | payload length (u64) | sha256(payload)
+    | payload
+
+The payload is a UTF-8 JSON object.  Binary request/response bodies
+(loops, accelerator configs, translation results) ride inside the JSON
+envelope as base64-encoded pickles under the ``"body"`` key, so the
+*envelope* — op, request id, session, idempotency key, error kind,
+``retry_after`` hint — is a checkable, language-agnostic contract
+(the ILA posture from PAPERS.md) while the bodies stay exact Python
+values.
+
+Every violation is a typed :class:`~repro.errors.ProtocolError` with a
+stable ``reason`` tag mirroring the cache-integrity taxonomy:
+``bad-magic``, ``version-mismatch``, ``truncated``,
+``checksum-mismatch``, ``empty-payload``, ``oversize``, ``bad-json``.
+A protocol error means the stream may no longer be frame-aligned; both
+peers respond by closing the connection (the client reconnects and
+resubmits — safe, because single-flight dedup on the transcache digest
+makes identical translations exactly-once).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import pickle
+import struct
+from typing import Any, Optional
+
+from repro.errors import (
+    AdmissionRejected,
+    ProtocolError,
+    ReproError,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverload,
+    SessionBudgetExceeded,
+)
+
+#: Bumped whenever the envelope layout changes; a peer speaking a
+#: different version is rejected with reason ``version-mismatch``.
+WIRE_VERSION = 1
+
+MAGIC = b"RVNW"
+_HEADER = struct.Struct("<4sIQ32s")  # magic, version, length, sha256
+HEADER_SIZE = _HEADER.size
+
+#: Hard ceiling on a single frame's payload: protects both peers from
+#: a corrupted length field committing them to a gigabyte read.
+MAX_PAYLOAD = 64 << 20
+
+
+# -- framing ------------------------------------------------------------------
+
+def encode_frame(message: dict, version: int = WIRE_VERSION) -> bytes:
+    """Serialise *message* (a JSON-safe dict) into one wire frame."""
+    payload = json.dumps(message, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return _HEADER.pack(MAGIC, version, len(payload), digest) + payload
+
+
+def check_header(header: bytes, version: int = WIRE_VERSION) -> int:
+    """Validate a frame header; returns the promised payload length."""
+    if len(header) < HEADER_SIZE:
+        raise ProtocolError(
+            f"frame header truncated: {len(header)} of {HEADER_SIZE} "
+            f"bytes", reason="truncated")
+    magic, found_version, length, _digest = _HEADER.unpack_from(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} != {MAGIC!r}",
+                            reason="bad-magic")
+    if found_version != version:
+        raise ProtocolError(
+            f"wire version {found_version} != {version}",
+            reason="version-mismatch")
+    if length == 0:
+        raise ProtocolError("zero-length frame payload",
+                            reason="empty-payload")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"frame payload of {length} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte ceiling", reason="oversize")
+    return length
+
+
+def decode_payload(header: bytes, payload: bytes) -> dict:
+    """Checksum-validate *payload* against *header* and parse it."""
+    _magic, _version, length, digest = _HEADER.unpack_from(header)
+    if len(payload) != length:
+        raise ProtocolError(
+            f"frame payload {len(payload)} bytes, header promised "
+            f"{length}", reason="truncated")
+    if hashlib.sha256(payload).digest() != digest:
+        raise ProtocolError("frame payload sha256 mismatch",
+                            reason="checksum-mismatch")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}",
+                            reason="bad-json") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload is {type(message).__name__}, not an object",
+            reason="bad-json")
+    return message
+
+
+def decode_frame(blob: bytes) -> dict:
+    """Decode one complete frame held in memory (tests, corruption)."""
+    length = check_header(blob[:HEADER_SIZE])
+    payload = blob[HEADER_SIZE:]
+    if len(payload) > length:
+        raise ProtocolError(
+            f"{len(payload) - length} trailing bytes after frame",
+            reason="truncated")
+    return decode_payload(blob[:HEADER_SIZE], payload)
+
+
+async def read_frame_async(reader: asyncio.StreamReader
+                           ) -> Optional[dict]:
+    """Read one frame from an asyncio stream; None on clean EOF.
+
+    Partial reads across frame boundaries are the normal case for TCP
+    (``readexactly`` reassembles); EOF *inside* a frame — a peer that
+    died mid-send — is a ``truncated`` protocol error, never a hang.
+    """
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise ProtocolError(
+            f"connection closed {len(exc.partial)} bytes into a frame "
+            f"header", reason="truncated") from None
+    length = check_header(header)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed {len(exc.partial)} of {length} bytes "
+            f"into a frame payload", reason="truncated") from None
+    return decode_payload(header, payload)
+
+
+def read_frame_blocking(read_exactly) -> Optional[dict]:
+    """Read one frame via *read_exactly(n) -> bytes* (sync client side).
+
+    *read_exactly* must return exactly ``n`` bytes, ``b""`` on clean
+    EOF before any byte arrives, or raise on timeout/short reads.
+    """
+    header = read_exactly(HEADER_SIZE)
+    if header == b"":
+        return None
+    length = check_header(header)
+    return decode_payload(header, read_exactly(length))
+
+
+# -- envelope bodies ----------------------------------------------------------
+
+def pack_body(obj: Any) -> str:
+    """Pickle *obj* into a JSON-safe base64 string."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def unpack_body(data: Optional[str]) -> Any:
+    if data is None:
+        return None
+    try:
+        return pickle.loads(base64.b64decode(data.encode("ascii")))
+    except Exception as exc:  # noqa: BLE001 — anything here is protocol
+        raise ProtocolError(f"undecodable frame body: {exc}",
+                            reason="bad-json") from None
+
+
+# -- envelopes ----------------------------------------------------------------
+
+def request(op: str, req_id: int, body: Any = None, *,
+            session: Optional[str] = None,
+            idempotency_key: Optional[str] = None,
+            deadline_s: Optional[float] = None,
+            **extra: Any) -> dict:
+    message = {"type": "request", "op": op, "id": req_id}
+    if body is not None:
+        message["body"] = pack_body(body)
+    if session is not None:
+        message["session"] = session
+    if idempotency_key is not None:
+        message["idempotency_key"] = idempotency_key
+    if deadline_s is not None:
+        message["deadline_s"] = deadline_s
+    message.update(extra)
+    return message
+
+
+def ok_response(req_id: Optional[int], body: Any = None) -> dict:
+    message = {"type": "response", "id": req_id, "ok": True}
+    if body is not None:
+        message["body"] = pack_body(body)
+    return message
+
+
+def error_response(req_id: Optional[int], exc: BaseException) -> dict:
+    """Encode *exc* as a typed error envelope.
+
+    Structured :class:`~repro.errors.ReproError` failures cross the
+    wire losslessly as a pickled body (the client re-raises the exact
+    instance); the JSON envelope still names the kind, message and
+    ``retry_after`` so non-Python tooling can act on rejections.
+    """
+    error: dict = {
+        "kind": getattr(exc, "kind", "error"),
+        "message": str(exc),
+    }
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after:
+        error["retry_after"] = round(float(retry_after), 6)
+    message = {"type": "response", "id": req_id, "ok": False,
+               "error": error}
+    if isinstance(exc, ReproError):
+        try:
+            message["body"] = pack_body(exc)
+        except Exception:  # noqa: BLE001 — unpicklable details: envelope only
+            pass
+    return message
+
+
+#: Error kinds the client re-raises as their typed classes even when
+#: the pickled body is absent (a non-Python or minimal server).
+_ERROR_CLASSES = {
+    "admission-rejected": AdmissionRejected,
+    "service-overload": ServiceOverload,
+    "session-budget": SessionBudgetExceeded,
+    "service-closed": ServiceClosed,
+    "protocol": ProtocolError,
+}
+
+
+def raise_error(message: dict) -> None:
+    """Re-raise the failure carried by an error response envelope."""
+    body = message.get("body")
+    if body is not None:
+        exc = unpack_body(body)
+        if isinstance(exc, BaseException):
+            raise exc
+    error = message.get("error") or {}
+    kind = error.get("kind", "error")
+    cls = _ERROR_CLASSES.get(kind, ServiceError)
+    exc = cls(error.get("message", f"remote {kind} failure"))
+    retry_after = error.get("retry_after")
+    if retry_after is not None:
+        exc.retry_after = float(retry_after)
+    raise exc

@@ -1,0 +1,155 @@
+"""Admission control: the token bucket, the degradation ladder, and
+the cached-work bypass."""
+
+from __future__ import annotations
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# -- token bucket -------------------------------------------------------------
+
+def test_bucket_burst_then_throttle():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+    assert [bucket.try_take() for _ in range(3)] == [0.0, 0.0, 0.0]
+    wait = bucket.try_take()
+    assert 0.0 < wait <= 0.1  # one token refills in 1/rate seconds
+
+
+def test_bucket_refills_with_time():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=1.0, clock=clock)
+    assert bucket.try_take() == 0.0
+    assert bucket.try_take() > 0.0
+    clock.advance(0.2)  # two tokens' worth, capped at burst=1
+    assert bucket.try_take() == 0.0
+    assert bucket.try_take() > 0.0
+
+
+def test_bucket_never_exceeds_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+    clock.advance(60.0)
+    assert bucket.try_take() == 0.0
+    assert bucket.try_take() == 0.0
+    assert bucket.try_take() > 0.0
+
+
+# -- the ladder ---------------------------------------------------------------
+
+def _controller(depth: int = 10, **policy) -> AdmissionController:
+    defaults = dict(session_rate=1000.0, session_burst=256.0,
+                    low_watermark=0.5, high_watermark=0.8,
+                    shed_below_priority=1)
+    defaults.update(policy)
+    return AdmissionController(AdmissionPolicy(**defaults), depth)
+
+
+def test_empty_queue_admits():
+    decision = _controller().admit("s", priority=1, qsize=0)
+    assert decision.admitted and decision.decision == "ok"
+
+
+def test_queue_full_rejects_even_cached():
+    decision = _controller().admit("s", priority=5, qsize=10,
+                                   is_cached=lambda: True,
+                                   queue_full=True)
+    assert not decision.admitted
+    assert decision.decision == "queue-full"
+    assert decision.retry_after > 0.0
+
+
+def test_saturated_rejects_uncached():
+    decision = _controller().admit("s", priority=5, qsize=8)
+    assert not decision.admitted
+    assert decision.decision == "saturated"
+    assert decision.retry_after > 0.0
+
+
+def test_saturated_admits_cached():
+    decision = _controller().admit("s", priority=0, qsize=9,
+                                   is_cached=lambda: True)
+    assert decision.admitted and decision.decision == "ok-cached"
+
+
+def test_between_watermarks_sheds_low_priority_only():
+    controller = _controller()
+    shed = controller.admit("low", priority=0, qsize=6)
+    assert not shed.admitted and shed.decision == "shed-low-priority"
+    kept = controller.admit("high", priority=1, qsize=6)
+    assert kept.admitted and kept.decision == "ok"
+
+
+def test_shed_low_priority_cached_still_progresses():
+    decision = _controller().admit("low", priority=0, qsize=6,
+                                   is_cached=lambda: True)
+    assert decision.admitted and decision.decision == "ok-cached"
+
+
+def test_throttled_session_gets_precise_hint():
+    clock = FakeClock()
+    controller = AdmissionController(
+        AdmissionPolicy(session_rate=10.0, session_burst=1.0),
+        queue_depth=10, clock=clock)
+    first = controller.admit("greedy", priority=1, qsize=0)
+    assert first.admitted
+    second = controller.admit("greedy", priority=1, qsize=0)
+    assert not second.admitted and second.decision == "throttled"
+    # The hint covers the bucket's refill time (1/rate = 0.1s here).
+    assert second.retry_after >= 0.1
+
+
+def test_buckets_are_per_session():
+    clock = FakeClock()
+    controller = AdmissionController(
+        AdmissionPolicy(session_rate=10.0, session_burst=1.0),
+        queue_depth=10, clock=clock)
+    assert controller.admit("a", priority=1, qsize=0).admitted
+    assert not controller.admit("a", priority=1, qsize=0).admitted
+    # Session b still has its own full bucket.
+    assert controller.admit("b", priority=1, qsize=0).admitted
+
+
+def test_retry_after_scales_with_backlog_and_is_bounded():
+    controller = _controller(depth=1000, high_watermark=0.001)
+    shallow = controller.admit("s", priority=1, qsize=2)
+    deep = controller.admit("s", priority=1, qsize=200)
+    assert not shallow.admitted and not deep.admitted
+    assert deep.retry_after >= shallow.retry_after
+    assert deep.retry_after <= controller.policy.retry_after_max_s
+
+
+def test_is_cached_lazy_not_called_on_clear_admission():
+    calls = []
+
+    def spy() -> bool:
+        calls.append(1)
+        return True
+
+    decision = _controller().admit("s", priority=1, qsize=0,
+                                   is_cached=spy)
+    assert decision.admitted and not calls  # digest never computed
+
+
+def test_stats_count_every_decision():
+    controller = _controller()
+    controller.admit("s", priority=1, qsize=0)
+    controller.admit("s", priority=1, qsize=8)
+    controller.admit("s", priority=1, qsize=8, is_cached=lambda: True)
+    counts = controller.stats.as_dict()
+    assert counts == {"ok": 1, "ok-cached": 1, "saturated": 1}

@@ -6,6 +6,7 @@ import pytest
 
 from repro import api, obs, perf
 from repro.errors import (
+    AdmissionRejected,
     ServiceClosed,
     ServiceOverload,
     SessionBudgetExceeded,
@@ -93,12 +94,23 @@ def test_overload_rejects_and_records_incident():
     session.translate(loop)
     with pytest.raises(ServiceOverload) as info:
         session.translate(loop)
-    assert info.value.kind == "service-overload"
+    # Admission control refines the blanket overload: the typed
+    # rejection names the decision and hints when to come back.
+    assert isinstance(info.value, AdmissionRejected)
+    assert info.value.kind == "admission-rejected"
+    assert info.value.decision == "queue-full"
+    assert info.value.retry_after > 0.0
     overloads = [i for i in incident_log().incidents
                  if i.kind == "service-overload"]
     assert len(overloads) == 1
+    # Every shed request is diagnosable from the incident log alone.
+    details = overloads[0].details
+    assert details["session"] == "burst"
+    assert details["queue_depth"] == 2
+    assert details["decision"] == "queue-full"
     stats = service.close(drain=False)
     assert stats.rejected_overload == 1
+    assert stats.admission.get("queue-full") == 1
 
 
 def test_session_budget_exhaustion():

@@ -1,0 +1,214 @@
+"""Wire-protocol edge cases: every malformed frame is a typed
+:class:`ProtocolError` with a stable reason tag — never a hang, never
+a raw traceback."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service import wire
+
+
+def _frame(message=None) -> bytes:
+    return wire.encode_frame(message or {"type": "request", "op": "ping",
+                                         "id": 1})
+
+
+def _reason(excinfo) -> str:
+    return excinfo.value.reason
+
+
+# -- in-memory decoding -------------------------------------------------------
+
+def test_round_trip():
+    message = wire.request("translate", 7, {"x": 1}, session="s",
+                           idempotency_key="digest", deadline_s=1.5)
+    decoded = wire.decode_frame(wire.encode_frame(message))
+    assert decoded == message
+    assert wire.unpack_body(decoded["body"]) == {"x": 1}
+
+
+def test_bad_magic():
+    blob = bytearray(_frame())
+    blob[:4] = b"XXXX"
+    with pytest.raises(ProtocolError) as info:
+        wire.decode_frame(bytes(blob))
+    assert _reason(info) == "bad-magic"
+
+
+def test_version_mismatch():
+    frame = wire.encode_frame({"a": 1}, version=wire.WIRE_VERSION + 1)
+    with pytest.raises(ProtocolError) as info:
+        wire.decode_frame(frame)
+    assert _reason(info) == "version-mismatch"
+
+
+def test_checksum_failure():
+    blob = bytearray(_frame())
+    blob[wire.HEADER_SIZE] ^= 0xFF  # flip the first payload byte
+    with pytest.raises(ProtocolError) as info:
+        wire.decode_frame(bytes(blob))
+    assert _reason(info) == "checksum-mismatch"
+
+
+def test_zero_length_payload():
+    header = struct.pack("<4sIQ32s", wire.MAGIC, wire.WIRE_VERSION, 0,
+                         b"\x00" * 32)
+    with pytest.raises(ProtocolError) as info:
+        wire.decode_frame(header)
+    assert _reason(info) == "empty-payload"
+
+
+def test_oversize_payload_rejected_before_read():
+    header = struct.pack("<4sIQ32s", wire.MAGIC, wire.WIRE_VERSION,
+                         wire.MAX_PAYLOAD + 1, b"\x00" * 32)
+    with pytest.raises(ProtocolError) as info:
+        wire.check_header(header)
+    assert _reason(info) == "oversize"
+
+
+def test_truncated_header():
+    with pytest.raises(ProtocolError) as info:
+        wire.decode_frame(_frame()[: wire.HEADER_SIZE - 3])
+    assert _reason(info) == "truncated"
+
+
+def test_truncated_payload():
+    with pytest.raises(ProtocolError) as info:
+        wire.decode_frame(_frame()[:-2])
+    assert _reason(info) == "truncated"
+
+
+def test_trailing_bytes():
+    with pytest.raises(ProtocolError) as info:
+        wire.decode_frame(_frame() + b"junk")
+    assert _reason(info) == "truncated"
+
+
+def test_non_json_payload():
+    payload = b"\xff\xfenot json"
+    import hashlib
+    header = struct.pack("<4sIQ32s", wire.MAGIC, wire.WIRE_VERSION,
+                         len(payload),
+                         hashlib.sha256(payload).digest())
+    with pytest.raises(ProtocolError) as info:
+        wire.decode_frame(header + payload)
+    assert _reason(info) == "bad-json"
+
+
+def test_json_scalar_payload_rejected():
+    import hashlib
+    payload = b"42"  # valid JSON, but not an envelope object
+    header = struct.pack("<4sIQ32s", wire.MAGIC, wire.WIRE_VERSION,
+                         len(payload),
+                         hashlib.sha256(payload).digest())
+    with pytest.raises(ProtocolError) as info:
+        wire.decode_frame(header + payload)
+    assert _reason(info) == "bad-json"
+
+
+def test_undecodable_body():
+    with pytest.raises(ProtocolError) as info:
+        wire.unpack_body("!!! not base64 pickle !!!")
+    assert _reason(info) == "bad-json"
+
+
+# -- async stream reads -------------------------------------------------------
+
+def _feed(chunks) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    for chunk in chunks:
+        reader.feed_data(chunk)
+    reader.feed_eof()
+    return reader
+
+
+def _read(reader):
+    return asyncio.get_event_loop_policy().new_event_loop() \
+        .run_until_complete(wire.read_frame_async(reader))
+
+
+def test_async_partial_reads_across_frame_boundaries():
+    # One frame delivered in 1-byte chunks: TCP's worst case.  The
+    # reader must reassemble it, not error or hang.
+    frame = _frame()
+    reader = _feed([frame[i:i + 1] for i in range(len(frame))])
+    assert _read(reader) == {"type": "request", "op": "ping", "id": 1}
+
+
+def test_async_split_mid_header_and_mid_payload():
+    frame = _frame()
+    cuts = [frame[:5], frame[5:wire.HEADER_SIZE + 3],
+            frame[wire.HEADER_SIZE + 3:]]
+    assert _read(_feed(cuts)) == {"type": "request", "op": "ping",
+                                  "id": 1}
+
+
+def test_async_clean_eof_between_frames_is_none():
+    assert _read(_feed([])) is None
+
+
+def test_async_eof_inside_header_is_truncated():
+    with pytest.raises(ProtocolError) as info:
+        _read(_feed([_frame()[:7]]))
+    assert _reason(info) == "truncated"
+
+
+def test_async_eof_inside_payload_is_truncated():
+    with pytest.raises(ProtocolError) as info:
+        _read(_feed([_frame()[:-4]]))
+    assert _reason(info) == "truncated"
+
+
+# -- blocking reads (the client side) -----------------------------------------
+
+def test_blocking_reader_reassembles():
+    frame = _frame()
+    state = {"offset": 0}
+
+    def read_exactly(count: int) -> bytes:
+        start = state["offset"]
+        state["offset"] += count
+        return frame[start:state["offset"]]
+
+    assert wire.read_frame_blocking(read_exactly) == {
+        "type": "request", "op": "ping", "id": 1}
+
+
+def test_blocking_reader_clean_eof_is_none():
+    assert wire.read_frame_blocking(lambda n: b"") is None
+
+
+# -- typed error envelopes ----------------------------------------------------
+
+def test_error_envelope_round_trips_typed_exception():
+    from repro.errors import AdmissionRejected
+    original = AdmissionRejected("queue says no", decision="saturated",
+                                 retry_after=0.25, session="s",
+                                 queue_depth=9)
+    envelope = wire.decode_frame(wire.encode_frame(
+        wire.error_response(3, original)))
+    assert envelope["ok"] is False
+    assert envelope["error"]["kind"] == "admission-rejected"
+    assert envelope["error"]["retry_after"] == 0.25
+    with pytest.raises(AdmissionRejected) as info:
+        wire.raise_error(envelope)
+    assert info.value.decision == "saturated"
+    assert info.value.retry_after == 0.25
+    assert info.value.queue_depth == 9
+
+
+def test_error_envelope_without_body_maps_kind():
+    # A minimal (non-Python) server sends only the JSON envelope; the
+    # client still raises the right typed class with the hint attached.
+    envelope = {"type": "response", "id": 1, "ok": False,
+                "error": {"kind": "admission-rejected",
+                          "message": "busy", "retry_after": 0.1}}
+    from repro.errors import AdmissionRejected
+    with pytest.raises(AdmissionRejected) as info:
+        wire.raise_error(envelope)
+    assert info.value.retry_after == 0.1
