@@ -46,6 +46,7 @@ TRACE_ENV = "REPRO_TRACE"
 INCIDENT_LOG_ENV = "REPRO_INCIDENT_LOG"
 SERVICE_HOST_ENV = "REPRO_SERVICE_HOST"
 SERVICE_PORT_ENV = "REPRO_SERVICE_PORT"
+SERVICE_SECRET_ENV = "REPRO_SERVICE_SECRET"
 RETRY_ATTEMPTS_ENV = "REPRO_RETRY_ATTEMPTS"
 RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
 
@@ -86,6 +87,10 @@ class Settings:
     service_host: str = "127.0.0.1"
     #: 0 = pick a free ephemeral port when serving.
     service_port: int = 0
+    #: Shared frame-authentication secret (HMAC); mandatory for any
+    #: non-loopback service host — see the
+    #: :mod:`repro.service.wire` trust model.
+    service_secret: Optional[str] = None
     #: Network client retry policy (attempts and backoff base).
     retry_attempts: int = 5
     retry_backoff_s: float = 0.02
@@ -99,6 +104,7 @@ class Settings:
                  incident_log: Optional[str] = None,
                  service_host: Optional[str] = None,
                  service_port: Optional[int | str] = None,
+                 service_secret: Optional[str] = None,
                  retry_attempts: Optional[int | str] = None,
                  retry_backoff_s: Optional[float | str] = None
                  ) -> "Settings":
@@ -134,6 +140,8 @@ class Settings:
                           or "127.0.0.1"),
             service_port=cls._parse_int(service_port, SERVICE_PORT_ENV,
                                         minimum=0, maximum=65535),
+            service_secret=(service_secret
+                            or env.get(SERVICE_SECRET_ENV) or None),
             retry_attempts=cls._parse_int(retry_attempts,
                                           RETRY_ATTEMPTS_ENV, minimum=1),
             retry_backoff_s=cls._parse_seconds(retry_backoff_s,
@@ -364,10 +372,10 @@ def connect(host: Optional[str] = None, port: Optional[int] = None,
             settings: Optional[Settings] = None, **client_kwargs: Any):
     """A :class:`~repro.service.client.LoopClient` for a served stack.
 
-    Endpoint and retry policy default to *settings* (or the
-    environment: ``REPRO_SERVICE_HOST``/``REPRO_SERVICE_PORT``/
-    ``REPRO_RETRY_ATTEMPTS``/``REPRO_RETRY_BACKOFF``); explicit
-    arguments win.  The returned client speaks the framed wire
+    Endpoint, frame-auth secret and retry policy default to *settings*
+    (or the environment: ``REPRO_SERVICE_HOST``/``REPRO_SERVICE_PORT``/
+    ``REPRO_SERVICE_SECRET``/``REPRO_RETRY_ATTEMPTS``/
+    ``REPRO_RETRY_BACKOFF``); explicit arguments win.  The returned client speaks the framed wire
     protocol and owns reconnection, retries and admission backoff.
     """
     from repro.service.client import LoopClient
@@ -377,6 +385,7 @@ def connect(host: Optional[str] = None, port: Optional[int] = None,
         host if host is not None else settings.service_host,
         port if port is not None else settings.service_port,
         retry=client_kwargs.pop("retry", settings.retry_policy()),
+        secret=client_kwargs.pop("secret", settings.service_secret),
         **client_kwargs)
 
 

@@ -158,7 +158,8 @@ def cmd_serve(workers: int, sessions: int) -> tuple[str, bool]:
 
 
 def cmd_serve_net(host: str, port: int, workers: int,
-                  sessions: int) -> tuple[str, bool]:
+                  sessions: int,
+                  secret: Optional[str] = None) -> tuple[str, bool]:
     """The ``serve`` smoke over TCP: boot the network front end, drive
     the same multi-session translate corpus through ``LoopClient``
     connections (framed wire protocol, retries, admission hints all
@@ -175,13 +176,14 @@ def cmd_serve_net(host: str, port: int, workers: int,
     served = 0
     retries = 0
     server = NetServer(NetConfig(
-        host=host, port=port,
+        host=host, port=port, auth_secret=secret,
         service=ServiceConfig(workers=workers))).start()
     bound = f"{server.host}:{server.port}"
     try:
         for i in range(sessions):
             with LoopClient(server.host, server.port,
-                            session=f"session-{i}") as client:
+                            session=f"session-{i}",
+                            secret=secret) as client:
                 for loop, config, options in corpus:
                     if client.translate(loop, config, options,
                                         deadline_s=600.0) is not None:
@@ -297,6 +299,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     serve.add_argument("--port", "-p", type=int, default=None,
                        help="serve over TCP on this port (0 = pick a "
                             "free one); omit for the in-process smoke")
+    serve.add_argument("--secret", default=os.environ.get(
+                           "REPRO_SERVICE_SECRET"),
+                       help="shared frame-auth secret (HMAC); required "
+                            "for any non-loopback --host (default: "
+                            "REPRO_SERVICE_SECRET)")
     serve.add_argument("--trace", default=None, metavar="PATH",
                        help="also write a JSONL span trace to PATH")
     loadgen = sub.add_parser("loadgen",
@@ -452,10 +459,18 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"trace written to {path}", file=sys.stderr)
         return 0
     if args.command == "serve":
+        from repro.errors import TransportError
+
         def _serve() -> tuple[str, bool]:
             if args.port is not None:
-                return cmd_serve_net(args.host, args.port,
-                                     args.workers, args.sessions)
+                try:
+                    return cmd_serve_net(args.host, args.port,
+                                         args.workers, args.sessions,
+                                         secret=args.secret)
+                except TransportError as exc:
+                    # A refused bind (non-loopback without --secret) is
+                    # a configuration error, not a crash.
+                    return f"error: [{exc.kind}] {exc}", False
             return cmd_serve(args.workers, args.sessions)
         if args.trace:
             from repro import obs

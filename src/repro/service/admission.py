@@ -44,8 +44,11 @@ class AdmissionPolicy:
     session_burst: float = 256.0
     #: Queue fill fraction where low-priority shedding begins.
     low_watermark: float = 0.75
-    #: Queue fill fraction where only cached work is admitted.
-    high_watermark: float = 1.0
+    #: Queue fill fraction where only cached work is admitted.  Must
+    #: stay below 1.0 at defaults: the physical queue rejects at a
+    #: fill of exactly 1.0 (``queue-full``, even for cached work), so
+    #: the cached-only band only exists strictly below it.
+    high_watermark: float = 0.9
     #: Sessions with priority below this are shed between watermarks.
     shed_below_priority: int = 1
     #: Bounds on the retry hints handed to rejected clients.
@@ -90,6 +93,11 @@ class TokenBucket:
                 return 0.0
             return (amount - self._tokens) / self.rate
 
+    def refund(self, amount: float = 1.0) -> None:
+        """Return tokens whose admission was ultimately not used."""
+        with self._lock:
+            self._tokens = min(self.burst, self._tokens + amount)
+
 
 @dataclass
 class AdmissionStats:
@@ -99,6 +107,14 @@ class AdmissionStats:
 
     def count(self, decision: str) -> None:
         self.decisions[decision] = self.decisions.get(decision, 0) + 1
+
+    def uncount(self, decision: str) -> None:
+        """Roll back one *decision* count (it was superseded)."""
+        remaining = self.decisions.get(decision, 0) - 1
+        if remaining > 0:
+            self.decisions[decision] = remaining
+        else:
+            self.decisions.pop(decision, None)
 
     def as_dict(self) -> dict[str, int]:
         return dict(sorted(self.decisions.items()))
@@ -180,3 +196,23 @@ class AdmissionController:
             # progresses, at any watermark, outside the bucket.
             return accept("ok-cached")
         return reject(blocked, floor=floor)
+
+    def revise_to_queue_full(self, prior: AdmissionDecision,
+                             session: str,
+                             qsize: int) -> AdmissionDecision:
+        """Turn an already-recorded admission into a queue-full reject.
+
+        The caller admitted but then lost the race for the last
+        physical queue slot.  The request must be counted exactly once
+        in the stats, so the *prior* decision's count is rolled back —
+        and its bucket token refunded (``ok-cached`` bypassed the
+        bucket, so only ``ok`` consumed one) — before the final
+        ``queue-full`` rejection is recorded.
+        """
+        self.stats.uncount(prior.decision)
+        if prior.decision == "ok":
+            self._bucket(session).refund()
+        self.stats.count("queue-full")
+        return AdmissionDecision(
+            admitted=False, decision="queue-full", queue_depth=qsize,
+            retry_after=self._retry_after(qsize))

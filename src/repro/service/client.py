@@ -130,9 +130,14 @@ class LoopClient:
                  budget_units: Optional[int] = None,
                  deadline_s: float = 60.0,
                  retry: RetryPolicy = RetryPolicy(),
+                 secret: Optional[str] = None,
                  seed: int = 0) -> None:
         self.host = host
         self.port = port
+        #: Shared secret matching the server's ``auth_secret``; turns
+        #: per-frame checksums into HMAC authentication (required to
+        #: talk to any non-loopback server).
+        self._key = wire.frame_key(secret)
         self.session = session or f"client-{port}"
         self.priority = priority
         self.budget_units = budget_units
@@ -292,8 +297,9 @@ class LoopClient:
         sock = self._sock
         sock.settimeout(max(0.05, attempt_timeout))
         try:
-            sock.sendall(wire.encode_frame(message))
-            response = wire.read_frame_blocking(self._read_exactly)
+            sock.sendall(wire.encode_frame(message, key=self._key))
+            response = wire.read_frame_blocking(self._read_exactly,
+                                                self._key)
         except socket.timeout:
             raise TransportError(
                 f"no {op} response within {attempt_timeout:.2f}s",
@@ -357,8 +363,9 @@ class LoopClient:
             session=self.session)
         sock.settimeout(max(0.05, connect_timeout))
         try:
-            sock.sendall(wire.encode_frame(hello))
-            response = wire.read_frame_blocking(self._read_exactly)
+            sock.sendall(wire.encode_frame(hello, key=self._key))
+            response = wire.read_frame_blocking(self._read_exactly,
+                                                self._key)
         except socket.timeout:
             self._disconnect()
             raise TransportError("hello handshake timed out",

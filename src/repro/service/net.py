@@ -17,6 +17,10 @@ without trusting the peer:
 * **admission rejections** cross the wire as typed error envelopes
   carrying the ``retry_after`` hint, so clients back off instead of
   hammering;
+* **untrusted peers** never reach ``pickle``: bodies decode through
+  the restricted unpickler, and a non-loopback bind is refused unless
+  an ``auth_secret`` upgrades frame checksums to per-frame HMAC (see
+  the :mod:`repro.service.wire` trust model);
 * the seeded network chaos campaign's **wire faults**
   (:func:`repro.faults.infra.claim_net_fault`) are applied on the
   response path — abort mid-frame, corrupt, truncate, stall, drop —
@@ -54,8 +58,20 @@ class NetConfig:
     #: Max seconds a connection may sit idle (or trickle bytes inside
     #: a single frame) before it is closed — the slow-loris guard.
     idle_timeout_s: float = 60.0
+    #: Shared secret turning per-frame checksums into HMAC-SHA256
+    #: authentication (see the :mod:`repro.service.wire` trust model).
+    #: Mandatory for any non-loopback ``host``: the wire carries
+    #: pickled bodies, so an unauthenticated reachable port would hand
+    #: request execution to anyone who can connect.
+    auth_secret: Optional[str] = None
     #: The wrapped service's configuration.
     service: ServiceConfig = field(default_factory=ServiceConfig)
+
+
+def is_loopback_host(host: str) -> bool:
+    """Whether *host* can only be reached from this machine."""
+    return (host in ("localhost", "::1", "")
+            or host.startswith("127."))
 
 
 def _latency_bucket_ms(elapsed_ms: float) -> int:
@@ -72,6 +88,7 @@ class NetServer:
     def __init__(self, config: NetConfig = NetConfig()) -> None:
         self.config = config
         self.service = LoopService(config.service)
+        self._key = wire.frame_key(config.auth_secret)
         self.host = config.host
         self.port: Optional[int] = None
         self._thread: Optional[threading.Thread] = None
@@ -87,9 +104,21 @@ class NetServer:
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "NetServer":
-        """Bind, boot the wrapped service, serve on a daemon thread."""
+        """Bind, boot the wrapped service, serve on a daemon thread.
+
+        Refuses a non-loopback bind without an ``auth_secret``: the
+        wire carries pickled bodies, so exposure beyond this machine
+        requires per-frame HMAC authentication (the trust model in
+        :mod:`repro.service.wire`).
+        """
         if self._thread is not None:
             return self
+        if not is_loopback_host(self.config.host) and self._key is None:
+            raise TransportError(
+                f"refusing to bind non-loopback {self.config.host!r} "
+                f"without an auth secret: set NetConfig.auth_secret "
+                f"(serve --secret / REPRO_SERVICE_SECRET) or bind "
+                f"loopback")
         self.service.start()
         self._thread = threading.Thread(target=self._run,
                                         name="repro-net-server",
@@ -117,7 +146,10 @@ class NetServer:
             return self.service.stats
         self._stopped = True
         if self._loop is not None and self._stop_event is not None:
-            self._loop.call_soon_threadsafe(self._stop_event.set)
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # event loop already closed (boot failed/crashed)
         if self._thread is not None:
             self._thread.join(timeout=30.0)
             if self._thread.is_alive():
@@ -134,10 +166,23 @@ class NetServer:
     def _run(self) -> None:
         try:
             asyncio.run(self._main())
-        except BaseException as exc:  # noqa: BLE001 — surfaced via start()
-            self._boot_error = TransportError(
-                f"network server crashed: {exc}")
-            self._ready.set()
+        except BaseException as exc:  # noqa: BLE001 — reported below
+            if self._ready.is_set():
+                # Crashed after start() returned: nobody is waiting on
+                # _boot_error any more, so the incident log is the
+                # surface operators will actually read.
+                obs.inc("net.server_crashes")
+                record_incident(
+                    "transport", "net",
+                    f"network server crashed after start: "
+                    f"{type(exc).__name__}: {exc}")
+            else:
+                self._boot_error = TransportError(
+                    f"network server crashed: {exc}")
+                self._ready.set()
+        finally:
+            # A dead thread's loop must never be poked by stop().
+            self._loop = None
 
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
@@ -195,7 +240,7 @@ class NetServer:
         while True:
             try:
                 message = await asyncio.wait_for(
-                    wire.read_frame_async(reader),
+                    wire.read_frame_async(reader, self._key),
                     timeout=self.config.idle_timeout_s)
             except asyncio.TimeoutError:
                 obs.inc("net.slow_client_closed")
@@ -215,7 +260,7 @@ class NetServer:
                 # frame-aligned any more, so close either way.
                 with contextlib.suppress(Exception):
                     writer.write(wire.encode_frame(
-                        wire.error_response(None, exc)))
+                        wire.error_response(None, exc), key=self._key))
                     await writer.drain()
                 return
             except (ConnectionResetError, OSError):
@@ -287,7 +332,7 @@ class NetServer:
 
     async def _send(self, conn: int, writer: asyncio.StreamWriter,
                     message: dict, op: str) -> bool:
-        frame = wire.encode_frame(message)
+        frame = wire.encode_frame(message, key=self._key)
         spec = infra.claim_net_fault()
         if spec is not None:
             return await self._apply_net_fault(conn, spec, writer,

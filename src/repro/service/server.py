@@ -273,17 +273,24 @@ class LoopService:
                      budget_units: Optional[int] = None,
                      priority: int = 1) -> ServiceSession:
         with self._lock:
-            if self._closed:
-                raise ServiceClosed("service is closed")
-            count = len(self._sessions)
+            return self._open_session_locked(
+                name, accelerator=accelerator, options=options,
+                budget_units=budget_units, priority=priority)
+
+    def _open_session_locked(self, name: Optional[str] = None,
+                             accelerator=None,
+                             options: Optional[TranslationOptions] = None,
+                             budget_units: Optional[int] = None,
+                             priority: int = 1) -> ServiceSession:
+        if self._closed:
+            raise ServiceClosed("service is closed")
         if budget_units is None:
             budget_units = self.config.default_session_budget
         session = ServiceSession(
-            self, name or f"session-{count}",
+            self, name or f"session-{len(self._sessions)}",
             accelerator=accelerator, options=options,
             budget_units=budget_units, priority=priority)
-        with self._lock:
-            self._sessions[session.name] = session
+        self._sessions[session.name] = session
         return session
 
     def get_or_open_session(self, name: str, **kwargs) -> ServiceSession:
@@ -291,13 +298,16 @@ class LoopService:
 
         Reconnecting network clients resume their session by name so
         budget accounting and token-bucket state survive a transport
-        failure (the retry/idempotency contract).
+        failure (the retry/idempotency contract).  Lookup-or-create is
+        atomic: two concurrent hellos for the same name get the *same*
+        session object, never a silent overwrite that would split
+        spent-units accounting and drop the first hello's settings.
         """
         with self._lock:
             existing = self._sessions.get(name)
-        if existing is not None:
-            return existing
-        return self.open_session(name, **kwargs)
+            if existing is not None:
+                return existing
+            return self._open_session_locked(name, **kwargs)
 
     def _submit(self, request: _Request) -> Future:
         with self._lock:
@@ -331,10 +341,11 @@ class LoopService:
         try:
             self._queue.put_nowait(request)
         except queue.Full:
-            # Lost the race for the last physical slot since the check.
-            self._reject(request, self._admission.admit(
-                request.session, priority, self._queue.qsize(),
-                queue_full=True))
+            # Lost the race for the last physical slot since the check:
+            # roll the recorded admission back (and its token) so the
+            # request is counted exactly once, as a queue-full reject.
+            self._reject(request, self._admission.revise_to_queue_full(
+                decision, request.session, self._queue.qsize()))
         with self._lock:
             self.stats.submitted += 1
         obs.inc("service.submitted")

@@ -18,21 +18,42 @@ values.
 Every violation is a typed :class:`~repro.errors.ProtocolError` with a
 stable ``reason`` tag mirroring the cache-integrity taxonomy:
 ``bad-magic``, ``version-mismatch``, ``truncated``,
-``checksum-mismatch``, ``empty-payload``, ``oversize``, ``bad-json``.
+``checksum-mismatch``, ``auth-mismatch``, ``empty-payload``,
+``oversize``, ``bad-json``, ``forbidden-global``.
 A protocol error means the stream may no longer be frame-aligned; both
 peers respond by closing the connection (the client reconnects and
 resubmits — safe, because single-flight dedup on the transcache digest
 makes identical translations exactly-once).
+
+Trust model
+-----------
+Frame bodies are pickles, and unpickling attacker-controlled bytes is
+arbitrary code execution, so *both* directions deserialize through a
+restricted unpickler (:func:`unpack_body`) that resolves only classes
+and functions defined inside the ``repro`` package plus a short list
+of safe builtins — ``os.system`` and friends are unreachable and any
+other global is a ``forbidden-global`` protocol error.  That bounds
+the blast radius but is **not** authentication: the per-frame digest
+is plain SHA-256 (integrity only) unless both peers share a secret,
+in which case it becomes HMAC-SHA256 and an unkeyed or wrongly-keyed
+peer's frames fail with ``auth-mismatch``.  The server therefore
+refuses to bind a non-loopback address without a secret
+(:class:`repro.service.net.NetServer`); loopback-only service among
+same-user processes is the supported no-secret deployment.
 """
 
 from __future__ import annotations
 
 import asyncio
 import base64
+import builtins
 import hashlib
+import hmac
+import io
 import json
 import pickle
 import struct
+import types
 from typing import Any, Optional
 
 from repro.errors import (
@@ -60,11 +81,25 @@ MAX_PAYLOAD = 64 << 20
 
 # -- framing ------------------------------------------------------------------
 
-def encode_frame(message: dict, version: int = WIRE_VERSION) -> bytes:
+def frame_key(secret: Optional[str]) -> Optional[bytes]:
+    """The per-frame HMAC key a shared *secret* derives (None = unkeyed)."""
+    return secret.encode("utf-8") if secret else None
+
+
+def _frame_digest(payload: bytes, key: Optional[bytes]) -> bytes:
+    """Keyed frames authenticate (HMAC); unkeyed frames only integrity-
+    check (plain SHA-256) — see the module trust model."""
+    if key:
+        return hmac.new(key, payload, hashlib.sha256).digest()
+    return hashlib.sha256(payload).digest()
+
+
+def encode_frame(message: dict, version: int = WIRE_VERSION,
+                 key: Optional[bytes] = None) -> bytes:
     """Serialise *message* (a JSON-safe dict) into one wire frame."""
     payload = json.dumps(message, sort_keys=True,
                          separators=(",", ":")).encode("utf-8")
-    digest = hashlib.sha256(payload).digest()
+    digest = _frame_digest(payload, key)
     return _HEADER.pack(MAGIC, version, len(payload), digest) + payload
 
 
@@ -92,14 +127,19 @@ def check_header(header: bytes, version: int = WIRE_VERSION) -> int:
     return length
 
 
-def decode_payload(header: bytes, payload: bytes) -> dict:
+def decode_payload(header: bytes, payload: bytes,
+                   key: Optional[bytes] = None) -> dict:
     """Checksum-validate *payload* against *header* and parse it."""
     _magic, _version, length, digest = _HEADER.unpack_from(header)
     if len(payload) != length:
         raise ProtocolError(
             f"frame payload {len(payload)} bytes, header promised "
             f"{length}", reason="truncated")
-    if hashlib.sha256(payload).digest() != digest:
+    if not hmac.compare_digest(_frame_digest(payload, key), digest):
+        if key:
+            raise ProtocolError(
+                "frame HMAC mismatch: peer is unkeyed or keyed with a "
+                "different secret", reason="auth-mismatch")
         raise ProtocolError("frame payload sha256 mismatch",
                             reason="checksum-mismatch")
     try:
@@ -114,7 +154,7 @@ def decode_payload(header: bytes, payload: bytes) -> dict:
     return message
 
 
-def decode_frame(blob: bytes) -> dict:
+def decode_frame(blob: bytes, key: Optional[bytes] = None) -> dict:
     """Decode one complete frame held in memory (tests, corruption)."""
     length = check_header(blob[:HEADER_SIZE])
     payload = blob[HEADER_SIZE:]
@@ -122,10 +162,11 @@ def decode_frame(blob: bytes) -> dict:
         raise ProtocolError(
             f"{len(payload) - length} trailing bytes after frame",
             reason="truncated")
-    return decode_payload(blob[:HEADER_SIZE], payload)
+    return decode_payload(blob[:HEADER_SIZE], payload, key)
 
 
-async def read_frame_async(reader: asyncio.StreamReader
+async def read_frame_async(reader: asyncio.StreamReader,
+                           key: Optional[bytes] = None
                            ) -> Optional[dict]:
     """Read one frame from an asyncio stream; None on clean EOF.
 
@@ -148,10 +189,11 @@ async def read_frame_async(reader: asyncio.StreamReader
         raise ProtocolError(
             f"connection closed {len(exc.partial)} of {length} bytes "
             f"into a frame payload", reason="truncated") from None
-    return decode_payload(header, payload)
+    return decode_payload(header, payload, key)
 
 
-def read_frame_blocking(read_exactly) -> Optional[dict]:
+def read_frame_blocking(read_exactly,
+                        key: Optional[bytes] = None) -> Optional[dict]:
     """Read one frame via *read_exactly(n) -> bytes* (sync client side).
 
     *read_exactly* must return exactly ``n`` bytes, ``b""`` on clean
@@ -161,10 +203,49 @@ def read_frame_blocking(read_exactly) -> Optional[dict]:
     if header == b"":
         return None
     length = check_header(header)
-    return decode_payload(header, read_exactly(length))
+    return decode_payload(header, read_exactly(length), key)
 
 
 # -- envelope bodies ----------------------------------------------------------
+
+#: Builtins a frame body's pickle stream may name.  Containers and
+#: scalars (list/dict/tuple/str/int/float/bytes/bool/None) travel as
+#: dedicated opcodes and never reach ``find_class``; this list is only
+#: the handful of constructors pickle references *by name*.
+_SAFE_BUILTINS = frozenset({
+    "bytearray", "complex", "frozenset", "range", "set", "slice",
+})
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """An unpickler that resolves only ``repro`` globals.
+
+    ``pickle.loads`` on network bytes is arbitrary code execution —
+    a stream naming ``os.system`` runs it during load.  Frame bodies
+    carry exactly the reproduction's own value types (loops,
+    accelerator configs, translation results, typed errors), so the
+    global namespace a body may reference is pinned to classes and
+    functions *defined in* the ``repro`` package plus a short builtin
+    allow-list.  Everything else — other modules, module objects
+    reachable as attributes of repro modules (``repro.x.os``), repro
+    attributes that merely re-export foreign callables — is a
+    ``forbidden-global`` protocol violation.
+    """
+
+    def find_class(self, module: str, name: str) -> Any:
+        if module == "builtins" and name in _SAFE_BUILTINS:
+            return getattr(builtins, name)
+        if module == "repro" or module.startswith("repro."):
+            obj = super().find_class(module, name)
+            defined_in = getattr(obj, "__module__", "") or ""
+            if (not isinstance(obj, types.ModuleType)
+                    and (defined_in == "repro"
+                         or defined_in.startswith("repro."))):
+                return obj
+        raise pickle.UnpicklingError(
+            f"frame body references forbidden global "
+            f"{module}.{name}")
+
 
 def pack_body(obj: Any) -> str:
     """Pickle *obj* into a JSON-safe base64 string."""
@@ -174,10 +255,22 @@ def pack_body(obj: Any) -> str:
 
 
 def unpack_body(data: Optional[str]) -> Any:
+    """Deserialize a frame body through the restricted unpickler."""
     if data is None:
         return None
     try:
-        return pickle.loads(base64.b64decode(data.encode("ascii")))
+        blob = base64.b64decode(data.encode("ascii"))
+    except Exception as exc:  # noqa: BLE001 — anything here is protocol
+        raise ProtocolError(f"undecodable frame body: {exc}",
+                            reason="bad-json") from None
+    try:
+        return _RestrictedUnpickler(io.BytesIO(blob)).load()
+    except pickle.UnpicklingError as exc:
+        if "forbidden global" in str(exc):
+            raise ProtocolError(str(exc),
+                                reason="forbidden-global") from None
+        raise ProtocolError(f"undecodable frame body: {exc}",
+                            reason="bad-json") from None
     except Exception as exc:  # noqa: BLE001 — anything here is protocol
         raise ProtocolError(f"undecodable frame body: {exc}",
                             reason="bad-json") from None

@@ -153,3 +153,56 @@ def test_stats_count_every_decision():
     controller.admit("s", priority=1, qsize=8, is_cached=lambda: True)
     counts = controller.stats.as_dict()
     assert counts == {"ok": 1, "ok-cached": 1, "saturated": 1}
+
+
+# -- the queue-full race and the defaults -------------------------------------
+
+def test_default_policy_keeps_a_cached_only_band():
+    # The physical queue rejects at a fill of exactly 1.0, so the
+    # saturation rung only exists if high_watermark sits below it —
+    # at defaults, cached work must still be admitted between the
+    # watermark and the last physical slot.
+    policy = AdmissionPolicy()
+    assert policy.high_watermark < 1.0
+    controller = AdmissionController(policy, queue_depth=64)
+    at_saturation = controller.admit("s", priority=1, qsize=63)
+    assert not at_saturation.admitted
+    assert at_saturation.decision == "saturated"
+    cached = controller.admit("s", priority=1, qsize=63,
+                              is_cached=lambda: True)
+    assert cached.admitted and cached.decision == "ok-cached"
+
+
+def test_revise_to_queue_full_counts_once_and_refunds_token():
+    clock = FakeClock()
+    controller = AdmissionController(
+        AdmissionPolicy(session_rate=10.0, session_burst=1.0),
+        queue_depth=10, clock=clock)
+    prior = controller.admit("s", priority=1, qsize=0)
+    assert prior.admitted and prior.decision == "ok"
+    revised = controller.revise_to_queue_full(prior, "s", qsize=10)
+    assert not revised.admitted
+    assert revised.decision == "queue-full"
+    assert revised.retry_after > 0.0
+    # Exactly one decision counted for the request, the final one.
+    assert controller.stats.as_dict() == {"queue-full": 1}
+    # The consumed token came back: with burst=1 and no clock
+    # movement, a fresh admit would otherwise be throttled.
+    assert controller.admit("s", priority=1, qsize=0).admitted
+
+
+def test_revise_to_queue_full_after_cached_admit_skips_refund():
+    clock = FakeClock()
+    controller = AdmissionController(
+        AdmissionPolicy(session_rate=10.0, session_burst=1.0,
+                        high_watermark=0.8),
+        queue_depth=10, clock=clock)
+    controller.admit("s", priority=1, qsize=0)  # drain the only token
+    cached = controller.admit("s", priority=1, qsize=9,
+                              is_cached=lambda: True)
+    assert cached.decision == "ok-cached"
+    controller.revise_to_queue_full(cached, "s", qsize=10)
+    # ok-cached bypassed the bucket, so no token is conjured back.
+    assert not controller.admit("s", priority=1, qsize=0).admitted
+    assert controller.stats.as_dict() == {"ok": 1, "queue-full": 1,
+                                          "throttled": 1}

@@ -177,3 +177,66 @@ def test_api_connect_uses_settings_defaults():
         with api.connect(server.host, server.port,
                          session="facade") as client:
             assert client.translate(loop).ok
+
+
+# -- the trust model on a real socket -----------------------------------------
+
+def test_non_loopback_bind_refused_without_secret():
+    server = NetServer(NetConfig(host="0.0.0.0"))
+    with pytest.raises(TransportError, match="auth secret"):
+        server.start()
+    server.stop()  # idempotent even though boot was refused
+
+
+def test_secret_authenticates_end_to_end():
+    with _server(auth_secret="s3cret") as server:
+        with LoopClient(server.host, server.port, session="keyed",
+                        secret="s3cret") as client:
+            assert client.ping()
+
+
+def test_unkeyed_client_rejected_by_keyed_server():
+    with _server(auth_secret="s3cret") as server:
+        with LoopClient(server.host, server.port, session="unkeyed",
+                        retry=RetryPolicy(attempts=2,
+                                          attempt_timeout_s=0.5),
+                        deadline_s=2.0) as client:
+            with pytest.raises(TransportError):
+                client.ping()
+
+
+def test_stop_after_failed_boot_is_clean():
+    blocker = socket.socket()
+    try:
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        server = NetServer(NetConfig(port=port))
+        with pytest.raises(TransportError, match="cannot bind"):
+            server.start()
+        server.stop()  # must not raise on the already-closed loop
+        server.stop()
+    finally:
+        blocker.close()
+
+
+def test_concurrent_hellos_share_one_session():
+    import threading
+
+    from repro.service.server import LoopService, ServiceConfig
+
+    with LoopService(ServiceConfig()) as service:
+        barrier = threading.Barrier(8)
+        seen = []
+
+        def hello() -> None:
+            barrier.wait()
+            seen.append(service.get_or_open_session("shared",
+                                                    priority=0))
+
+        threads = [threading.Thread(target=hello) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(session) for session in seen}) == 1

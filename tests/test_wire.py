@@ -212,3 +212,65 @@ def test_error_envelope_without_body_maps_kind():
     with pytest.raises(AdmissionRejected) as info:
         wire.raise_error(envelope)
     assert info.value.retry_after == 0.1
+
+
+# -- the trust model: restricted bodies and keyed frames ----------------------
+
+def test_body_rejects_forbidden_global():
+    # A hand-built pickle naming os.system: loading it through the
+    # stock unpickler would hand the peer a shell — the restricted
+    # unpickler must refuse before any global resolves.
+    import base64
+    evil = base64.b64encode(b"cos\nsystem\n.").decode("ascii")
+    with pytest.raises(ProtocolError) as info:
+        wire.unpack_body(evil)
+    assert _reason(info) == "forbidden-global"
+
+
+def test_body_rejects_module_attribute_escape():
+    # Modules imported *by* repro modules (repro.service.server.os)
+    # must not be reachable through the repro.* allow prefix.
+    import base64
+    evil = base64.b64encode(b"crepro.service.server\nos\n.").decode()
+    with pytest.raises(ProtocolError) as info:
+        wire.unpack_body(evil)
+    assert _reason(info) == "forbidden-global"
+
+
+def test_body_allows_repro_types_and_safe_builtins():
+    from repro.errors import AdmissionRejected
+    from repro.vm.translator import TranslationOptions
+    for value in (TranslationOptions(),
+                  AdmissionRejected("busy", retry_after=0.1),
+                  {"a": [1, 2.5, "x"], "b": (True, None)},
+                  {frozenset({1}), 2},
+                  bytearray(b"raw")):
+        restored = wire.unpack_body(wire.pack_body(value))
+        assert type(restored) is type(value)
+
+
+def test_keyed_frame_round_trip():
+    key = wire.frame_key("s3cret")
+    message = {"type": "request", "op": "ping", "id": 1}
+    assert wire.decode_frame(wire.encode_frame(message, key=key),
+                             key) == message
+
+
+def test_unkeyed_frame_fails_keyed_reader_as_auth_mismatch():
+    with pytest.raises(ProtocolError) as info:
+        wire.decode_frame(_frame(), wire.frame_key("s3cret"))
+    assert _reason(info) == "auth-mismatch"
+
+
+def test_wrong_key_is_auth_mismatch():
+    frame = wire.encode_frame({"op": "ping"}, key=wire.frame_key("a"))
+    with pytest.raises(ProtocolError) as info:
+        wire.decode_frame(frame, wire.frame_key("b"))
+    assert _reason(info) == "auth-mismatch"
+
+
+def test_keyed_frame_fails_unkeyed_reader_as_checksum_mismatch():
+    frame = wire.encode_frame({"op": "ping"}, key=wire.frame_key("a"))
+    with pytest.raises(ProtocolError) as info:
+        wire.decode_frame(frame)
+    assert _reason(info) == "checksum-mismatch"
