@@ -15,6 +15,12 @@ from repro.accelerator.machine import (
     KernelImage,
     LoopAccelerator,
 )
+from repro.accelerator.jit import (
+    SpecializationUnsupported,
+    SpecializedKernel,
+    execute_pipelined,
+    specialize,
+)
 from repro.accelerator.pipeline_executor import (
     OverlappedRun,
     execute_overlapped,
@@ -25,6 +31,8 @@ __all__ = [
     "AcceleratorFault", "AcceleratorRun", "AddressGenerator",
     "AreaBreakdown", "INFINITE_LA", "KernelImage", "LAConfig",
     "LoopAccelerator", "OverlappedRun", "PROPOSED_LA", "RegisterFile",
-    "ResolvedStream", "StreamFIFO", "UNBOUNDED", "accelerator_area",
-    "distribute_streams", "execute_overlapped", "resolve_pattern",
+    "ResolvedStream", "SpecializationUnsupported", "SpecializedKernel",
+    "StreamFIFO", "UNBOUNDED", "accelerator_area", "distribute_streams",
+    "execute_overlapped", "execute_pipelined", "resolve_pattern",
+    "specialize",
 ]

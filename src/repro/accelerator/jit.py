@@ -1,0 +1,798 @@
+"""Kernel specialization: compile a modulo schedule into one function.
+
+The third engine tier (``REPRO_ENGINE=2``).  The overlapped executor
+(:mod:`repro.accelerator.pipeline_executor`) pays event-queue dispatch
+for every scheduled op of every iteration; this module instead emits the
+whole software pipeline as *generated Python source* — compiled once per
+(image, trip count) with :func:`compile`/``exec`` — and caches the
+function in-process keyed on the translation digest.
+
+Codegen shape (one function per scheduled loop):
+
+* **prologue / steady state / epilogue** — the schedule's ``j``-windows
+  (iteration ``k``, stage ``s`` executes in window ``j = k + s``) are
+  emitted in ascending order; within a window, ops are ordered by
+  ``(cycle within II, iteration, body position)``, which provably equals
+  the event executor's global ``(absolute cycle, k, position)`` order,
+  so memory commits in the identical global order.  Windows ``j < SC``
+  and the final ``SC - 1`` windows are unrolled statically (they contain
+  live-in reads resp. partial stages); the steady state runs as a loop
+  unrolled ``S`` times per trip.
+* **modulo variable expansion** — each value lives in one of
+  ``S = stage_count + 1`` rotating register-set slots, renamed to the
+  local variable ``v{opid}_{dest}_{k mod S}`` (one extra slot keeps a
+  distance-1 read tail alive across the wrap).
+* **strength-reduced streams** — the unscheduled address/control slice
+  is eliminated entirely: every memory op's address is its affine stream
+  pattern, materialised as a base local plus per-iteration increments
+  (``a += stride * S`` once per unrolled steady trip).
+* **closed-form timing** — cycles, max inflight iterations and
+  per-resource utilization are computed from schedule arithmetic at
+  specialization time, term-for-term identical to what the event
+  executor measures, so figure text stays byte-identical.
+
+Anything the specializer cannot prove it can reproduce bit-identically
+falls back to the reference executors (negative-cached per image), and a
+guard cross-check mismatch routes through the PR 1 deopt/blacklist path:
+the reference interpreter remains ground truth.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from repro import obs
+from repro.accelerator.machine import (AcceleratorFault, AcceleratorRun,
+                                       KernelImage)
+from repro.accelerator.pipeline_executor import (OverlappedRun,
+                                                 execute_overlapped)
+from repro.cpu.interpreter import (_as_bits, _shift_amount, _trunc_div,
+                                   _trunc_rem, wrap64)
+from repro.cpu.memory import Memory, Value
+from repro.ir.opcodes import Opcode
+from repro.ir.ops import Imm, Operation, Reg
+from repro.scheduler.mii import sched_resource
+
+
+class SpecializationUnsupported(Exception):
+    """The image has a shape the specializer does not reproduce exactly."""
+
+
+@dataclass
+class SpecializedKernel:
+    """One compiled loop: the generated function plus closed-form facts."""
+
+    loop_name: str
+    source: str
+    fn: Callable
+    trips: int
+    #: Positional live-in parameters of ``fn`` (after the cells dict).
+    params: tuple[Reg, ...]
+    #: Live-out registers produced by the function, in return order.
+    out_regs: tuple[Reg, ...]
+    #: Live-ins that must be present in the runtime mapping (parameters
+    #: plus stream-base registers); a missing one falls back to the
+    #: reference executor, which reports the fault identically.
+    required: frozenset
+    #: Closed-form OverlappedRun facts.
+    cycles: int
+    max_inflight: int
+    utilization: dict[str, float]
+    #: Closed-form AcceleratorRun facts (vm.run_loop tier).
+    n_mem_ops: int
+    load_stream_ops: dict[int, int] = field(default_factory=dict)
+
+    def run(self, memory: Memory, live_ins: Mapping[Reg, Value]
+            ) -> dict[Reg, Value]:
+        """Execute over *memory*; returns the produced live-outs."""
+        values = self.fn(memory._cells,
+                         *[live_ins[reg] for reg in self.params])
+        outs = dict(zip(self.out_regs, values))
+        return outs
+
+
+# -- in-process code cache ----------------------------------------------------
+
+#: key -> SpecializedKernel, or None for a negative (unsupported) entry.
+_code_cache: dict[tuple, Optional[SpecializedKernel]] = {}
+#: loop name -> keys, for guard-driven invalidation.
+_loop_keys: dict[str, set] = {}
+_stats = {"compiled": 0, "hits": 0, "unsupported": 0, "deopts": 0}
+
+#: Test seam: when set, applied to the specialized live-outs as
+#: ``hook(loop_name, live_outs) -> live_outs`` so guard tests can force
+#: a cross-check mismatch without touching real machine state.
+_test_corruption: Optional[Callable[[str, dict], dict]] = None
+
+
+def set_test_corruption(hook: Optional[Callable[[str, dict], dict]]) -> None:
+    global _test_corruption
+    _test_corruption = hook
+
+
+def clear_code_cache() -> None:
+    _code_cache.clear()
+    _loop_keys.clear()
+
+
+def code_cache_stats() -> dict:
+    return dict(_stats, entries=len(_code_cache))
+
+
+def invalidate_loop(loop_name: str) -> int:
+    """Drop every compiled kernel for *loop_name* (guard deopt path)."""
+    keys = _loop_keys.pop(loop_name, set())
+    dropped = 0
+    for key in keys:
+        if _code_cache.pop(key, None) is not None:
+            dropped += 1
+    if dropped:
+        _stats["deopts"] += dropped
+        obs.inc("vm.specialize_deopt", dropped)
+    return dropped
+
+
+def _image_key(image: KernelImage, trips: int) -> tuple:
+    """Cache key: transcache digest when the translator attached one,
+    else a content digest — plus the facts the digest does not pin
+    (trip specialization and the caller-config unit pools)."""
+    digest = getattr(image, "digest", None)
+    if digest is None:
+        from repro.perf.digest import digest_of, loop_digest
+        schedule = image.schedule
+        digest = digest_of(
+            "jit-image", loop_digest(image.loop), schedule.ii,
+            sorted(schedule.times.items()),
+            schedule.completion_time(image.dfg))
+    units = tuple(sorted(image.schedule.units.items()))
+    return (digest, trips, units)
+
+
+def kernel_for(image: KernelImage, trips: int
+               ) -> Optional[SpecializedKernel]:
+    """The compiled kernel for (image, trips), or None if unsupported."""
+    key = _image_key(image, trips)
+    if key in _code_cache:
+        _stats["hits"] += 1
+        return _code_cache[key]
+    started = time.perf_counter()
+    try:
+        kernel = specialize(image, trips)
+        _stats["compiled"] += 1
+        obs.inc("translator.units.specialize",
+                len(kernel.source.splitlines()))
+    except SpecializationUnsupported:
+        kernel = None
+        _stats["unsupported"] += 1
+    except Exception:
+        # A codegen crash must never take down the reference path.
+        kernel = None
+        _stats["unsupported"] += 1
+    obs.observe("jit.compile_ms",
+                (time.perf_counter() - started) * 1000.0)
+    _code_cache[key] = kernel
+    _loop_keys.setdefault(image.loop.name, set()).add(key)
+    return kernel
+
+
+# -- codegen ------------------------------------------------------------------
+
+#: opcode -> expression template over operand expressions a, b, c.
+#: Every template is copied verbatim from Interpreter.execute_op so the
+#: compiled arithmetic is bit-identical to the reference semantics.
+_BINARY = {
+    Opcode.ADD: "__w(int({a}) + int({b}))",
+    Opcode.SUB: "__w(int({a}) - int({b}))",
+    Opcode.MUL: "__w(int({a}) * int({b}))",
+    Opcode.MIN: "min(int({a}), int({b}))",
+    Opcode.MAX: "max(int({a}), int({b}))",
+    Opcode.AND: "__w(__bits(int({a})) & __bits(int({b})))",
+    Opcode.OR: "__w(__bits(int({a})) | __bits(int({b})))",
+    Opcode.XOR: "__w(__bits(int({a})) ^ __bits(int({b})))",
+    Opcode.SHL: "__w(int({a}) << __sh(int({b})))",
+    Opcode.SHR: "__w(int({a}) >> __sh(int({b})))",
+    Opcode.SHRU: "__w(__bits(int({a})) >> __sh(int({b})))",
+    Opcode.CMPEQ: "int({a} == {b})",
+    Opcode.CMPNE: "int({a} != {b})",
+    Opcode.CMPLT: "int({a} < {b})",
+    Opcode.CMPLE: "int({a} <= {b})",
+    Opcode.CMPGT: "int({a} > {b})",
+    Opcode.CMPGE: "int({a} >= {b})",
+    Opcode.FADD: "float({a}) + float({b})",
+    Opcode.FSUB: "float({a}) - float({b})",
+    Opcode.FMUL: "float({a}) * float({b})",
+    Opcode.FMIN: "min(float({a}), float({b}))",
+    Opcode.FMAX: "max(float({a}), float({b}))",
+    Opcode.FCMPLT: "int(float({a}) < float({b}))",
+    Opcode.FCMPLE: "int(float({a}) <= float({b}))",
+    Opcode.FCMPEQ: "int(float({a}) == float({b}))",
+}
+
+_UNARY = {
+    Opcode.NEG: "__w(-int({a}))",
+    Opcode.ABS: "__w(abs(int({a})))",
+    Opcode.NOT: "__w(~int({a}))",
+    Opcode.MOV: "{a}",
+    Opcode.LDI: "{a}",
+    Opcode.FNEG: "-float({a})",
+    Opcode.FABS: "abs(float({a}))",
+    Opcode.ITOF: "float(int({a}))",
+    Opcode.FTOI: "__w(int(float({a})))",
+}
+
+_HELPERS = {"__w": wrap64, "__sh": _shift_amount, "__bits": _as_bits,
+            "__tdiv": _trunc_div, "__trem": _trunc_rem}
+
+
+def _value_expr(op: Operation, operands: list[str]) -> str:
+    """The result expression for a pure value op (no memory, no CCA)."""
+    oc = op.opcode
+    if oc in _BINARY:
+        return _BINARY[oc].format(a=operands[0], b=operands[1])
+    if oc in _UNARY:
+        return _UNARY[oc].format(a=operands[0])
+    if oc is Opcode.DIV:
+        return (f"(0 if int({operands[1]}) == 0 else "
+                f"__w(__tdiv(int({operands[0]}), int({operands[1]}))))")
+    if oc is Opcode.REM:
+        return (f"(0 if int({operands[1]}) == 0 else "
+                f"__w(__trem(int({operands[0]}), int({operands[1]}))))")
+    if oc is Opcode.FDIV:
+        return (f"(0.0 if float({operands[1]}) == 0.0 else "
+                f"float({operands[0]}) / float({operands[1]}))")
+    if oc is Opcode.SELECT:
+        return f"({operands[1]} if {operands[0]} else {operands[2]})"
+    raise SpecializationUnsupported(f"opcode {oc} has no template")
+
+
+class _Codegen:
+    """Builds the specialized source for one (image, trips) pair."""
+
+    def __init__(self, image: KernelImage, trips: int) -> None:
+        self.image = image
+        self.loop = image.loop
+        self.schedule = image.schedule
+        self.ii = image.schedule.ii
+        self.trips = trips
+        self.sc = max(1, image.schedule.stage_count)
+        #: Register-set slots; one more than the stage count so a
+        #: distance-1 read of the oldest in-flight iteration is never
+        #: clobbered by the newest one reusing its slot.
+        self.s = self.sc + 1
+        self.lines: list[str] = []
+        self.params: list[Reg] = []
+        self._param_index: dict[Reg, int] = {}
+        self.required: set[Reg] = set()
+        self._temp = 0
+        # Mirror of _DataflowResolver's producer map: nearest preceding
+        # in-body def (distance 0), else the final def (distance 1).
+        self._producer: dict[tuple[int, Reg], tuple[int, int]] = {}
+        self._index = {op.opid: i for i, op in enumerate(self.loop.body)}
+        self._by_id = {op.opid: op for op in self.loop.body}
+        last_def: dict[Reg, int] = {}
+        final_def: dict[Reg, int] = {}
+        for op in self.loop.body:
+            for d in op.dests:
+                final_def[d] = op.opid
+        for index, op in enumerate(self.loop.body):
+            for reg in set(op.src_regs()):
+                if reg in last_def:
+                    self._producer[(index, reg)] = (last_def[reg], 0)
+                elif reg in final_def:
+                    self._producer[(index, reg)] = (final_def[reg], 1)
+            for d in op.dests:
+                last_def[d] = op.opid
+        # Memory ops need an affine stream pattern; the unscheduled
+        # address/control slice is eliminated on the strength of it.
+        self._patterns = {}
+        for op in self.loop.body:
+            if op.is_memory:
+                pattern = image.streams.patterns.get(op.opid)
+                if pattern is None:
+                    raise SpecializationUnsupported(
+                        f"op{op.opid}: no affine stream pattern")
+                self._patterns[op.opid] = pattern
+
+    # -- small helpers ----------------------------------------------------
+
+    def _live_in(self, reg: Reg) -> str:
+        self.required.add(reg)
+        if reg not in self._param_index:
+            self._param_index[reg] = len(self.params)
+            self.params.append(reg)
+        return f"L{self._param_index[reg]}"
+
+    def _var(self, opid: int, reg: Reg, slot: int) -> str:
+        op = self._by_id[opid]
+        try:
+            ri = op.dests.index(reg)
+        except ValueError:
+            raise SpecializationUnsupported(
+                f"op{opid}: producer does not define {reg}")
+        return f"v{opid}_{ri}_{slot}"
+
+    def _resolve(self, position: int, reg: Reg, k: Optional[int],
+                 slot_phase: Optional[int] = None) -> str:
+        """Expression for *reg* read at body *position*, iteration *k*.
+
+        ``k`` is the concrete iteration in unrolled regions; in the
+        steady-state template ``k`` is None and ``slot_phase`` is the
+        static ``k mod S`` of the reading instance.
+        """
+        producer = self._producer.get((position, reg))
+        if producer is None:
+            return self._live_in(reg)
+        opid, distance = producer
+        if opid not in self.schedule.times:
+            # Offloadable (eliminated) producer: the partition guarantees
+            # such values feed only addresses and the branch, so a value
+            # read landing here is a shape we do not reproduce.
+            raise SpecializationUnsupported(
+                f"op{opid}: value read of an unscheduled producer")
+        if k is not None:
+            source = k - distance
+            if source < 0:
+                return self._live_in(reg)
+            return self._var(opid, reg, source % self.s)
+        return self._var(opid, reg, (slot_phase - distance) % self.s)
+
+    def _operand(self, position: int, operand, k: Optional[int],
+                 slot_phase: Optional[int] = None) -> str:
+        if isinstance(operand, Imm):
+            return repr(operand.value)
+        return self._resolve(position, operand, k, slot_phase)
+
+    def _addr(self, op: Operation, k: Optional[int],
+              steady_offset: Optional[int] = None) -> str:
+        """Address expression: stream base plus folded stride offsets."""
+        pattern = self._patterns[op.opid]
+        if k is not None:
+            off = pattern.stride * k
+            return f"b{op.opid} + {off}" if off else f"b{op.opid}"
+        off = pattern.stride * steady_offset
+        return f"a{op.opid} + {off}" if off else f"a{op.opid}"
+
+    # -- per-instance emission -------------------------------------------
+
+    def _emit_instance(self, op: Operation, k: Optional[int],
+                       slot_phase: Optional[int] = None,
+                       steady_offset: Optional[int] = None,
+                       indent: str = "    ") -> None:
+        """Emit op's iteration-*k* instance (or the steady template)."""
+        position = self._index[op.opid]
+        oc = op.opcode
+        if oc in (Opcode.BR, Opcode.JUMP):
+            return
+        if oc in (Opcode.CALL, Opcode.BRL):
+            raise SpecializationUnsupported(f"op{op.opid}: {oc} traps")
+        phase = k % self.s if k is not None else slot_phase
+        pred = (None if op.predicate is None else
+                self._resolve(position, op.predicate, k, slot_phase))
+
+        def dest_var(ri: int) -> str:
+            return f"v{op.opid}_{ri}_{phase}"
+
+        def prior(reg: Reg) -> str:
+            # Squashed predicated op: the executor copies the value the
+            # register would resolve to *as if read at this position*.
+            return self._resolve(position, reg, k, slot_phase)
+
+        if oc in (Opcode.STORE, Opcode.FSTORE):
+            addr = self._addr(op, k, steady_offset)
+            val = self._operand(position, op.srcs[2], k, slot_phase)
+            if pred is None:
+                self.lines.append(f"{indent}__cells[{addr}] = {val}")
+            else:
+                self.lines.append(
+                    f"{indent}if {pred}: __cells[{addr}] = {val}")
+            for ri, d in enumerate(op.dests):  # stores define nothing
+                self.lines.append(f"{indent}{dest_var(ri)} = {prior(d)}")
+            return
+        if oc in (Opcode.LOAD, Opcode.FLOAD):
+            if not op.dests:
+                raise SpecializationUnsupported(
+                    f"op{op.opid}: load without destination")
+            addr = self._addr(op, k, steady_offset)
+            expr = f"__cells.get({addr}, 0)"
+            if pred is not None:
+                expr = f"({expr} if {pred} else {prior(op.dests[0])})"
+            self.lines.append(f"{indent}{dest_var(0)} = {expr}")
+            for ri in range(1, len(op.dests)):
+                self.lines.append(
+                    f"{indent}{dest_var(ri)} = {prior(op.dests[ri])}")
+            return
+        if oc is Opcode.CCA_OP:
+            self._emit_compound(op, k, slot_phase, pred, indent)
+            return
+        # Pure value op.
+        operands = [self._operand(position, s, k, slot_phase)
+                    for s in op.srcs]
+        expr = _value_expr(op, operands)
+        if not op.dests:
+            return  # result discarded, no side effects
+        if pred is not None:
+            expr = f"({expr} if {pred} else {prior(op.dests[0])})"
+        self.lines.append(f"{indent}{dest_var(0)} = {expr}")
+        for ri in range(1, len(op.dests)):
+            self.lines.append(
+                f"{indent}{dest_var(ri)} = {prior(op.dests[ri])}")
+
+    def _emit_compound(self, op: Operation, k: Optional[int],
+                       slot_phase: Optional[int], pred: Optional[str],
+                       indent: str) -> None:
+        """CCA compound: inner ops over a compile-time binding map."""
+        position = self._index[op.opid]
+        phase = k % self.s if k is not None else slot_phase
+        binding: dict[Reg, str] = {}
+        for reg in set(op.src_regs()):
+            binding[reg] = self._resolve(position, reg, k, slot_phase)
+        body: list[str] = []
+        inner_indent = indent + ("    " if pred is not None else "")
+        for inner in op.inner:
+            if inner.opcode is Opcode.CCA_OP or inner.is_memory:
+                raise SpecializationUnsupported(
+                    f"op{op.opid}: unsupported inner op {inner.opcode}")
+            ipred = None
+            if inner.predicate is not None:
+                if inner.predicate not in binding:
+                    continue  # regs.get(pred, 0) == 0: statically squashed
+                ipred = binding[inner.predicate]
+            operands = []
+            for s in inner.srcs:
+                if isinstance(s, Imm):
+                    operands.append(repr(s.value))
+                elif s in binding:
+                    operands.append(binding[s])
+                else:
+                    raise SpecializationUnsupported(
+                        f"op{op.opid}: inner read of unbound {s}")
+            expr = _value_expr(inner, operands)
+            if not inner.dests:
+                continue
+            dest = inner.dests[0]
+            if ipred is not None:
+                if dest not in binding:
+                    raise SpecializationUnsupported(
+                        f"op{op.opid}: predicated inner def of unbound "
+                        f"{dest}")
+                expr = f"({expr} if {ipred} else {binding[dest]})"
+            name = f"c{op.opid}_{self._temp}"
+            self._temp += 1
+            body.append(f"{inner_indent}{name} = {expr}")
+            binding[dest] = name
+        publishes = []
+        for ri, d in enumerate(op.dests):
+            value = binding.get(d)
+            if value is None:
+                value = self._resolve(position, d, k, slot_phase)
+            publishes.append((f"v{op.opid}_{ri}_{phase}", value))
+        if pred is None:
+            self.lines.extend(body)
+            for var, value in publishes:
+                self.lines.append(f"{indent}{var} = {value}")
+            return
+        self.lines.append(f"{indent}if {pred}:")
+        self.lines.extend(body)
+        for var, value in publishes:
+            self.lines.append(f"{inner_indent}{var} = {value}")
+        self.lines.append(f"{indent}else:")
+        for ri, d in enumerate(op.dests):
+            fallback = self._resolve(position, d, k, slot_phase)
+            self.lines.append(
+                f"{inner_indent}v{op.opid}_{ri}_{phase} = {fallback}")
+
+    # -- window scheduling -------------------------------------------------
+
+    def _window_ops(self, j: int) -> list[tuple[int, int, Operation]]:
+        """Scheduled instances of window *j*: (cycle, k, op), in the
+        executor's (absolute cycle, iteration, position) order."""
+        out = []
+        for op in self.loop.body:
+            t = self.schedule.times.get(op.opid)
+            if t is None:
+                continue
+            s, cyc = divmod(t, self.ii)
+            k = j - s
+            if 0 <= k < self.trips:
+                out.append(((cyc, k, self._index[op.opid]), k, op))
+        out.sort(key=lambda e: e[0])
+        return [(e[0][0], e[1], e[2]) for e in out]
+
+    def _steady_template(self) -> list[tuple[int, int, Operation]]:
+        """(cycle, stage, op) for one full steady window, in order."""
+        out = []
+        for op in self.loop.body:
+            t = self.schedule.times.get(op.opid)
+            if t is None:
+                continue
+            s, cyc = divmod(t, self.ii)
+            out.append(((cyc, -s, self._index[op.opid]), s, op))
+        out.sort(key=lambda e: e[0])
+        return [(e[0][0], e[1], e[2]) for e in out]
+
+    # -- whole-function generation ----------------------------------------
+
+    def generate(self) -> tuple[str, list[Reg], list[Reg]]:
+        trips, sc, s = self.trips, self.sc, self.s
+        total = trips + sc - 1
+        body = self.lines
+        # Stream bases (placeholders are patched in after the body is
+        # generated, once the live-in parameter list is final).
+        prelude_mark = len(body)
+
+        ramp_end = min(sc, total)           # windows [0, ramp_end)
+        steady_lo, steady_hi = sc, trips    # windows [sc, trips)
+        for j in range(ramp_end):
+            body.append(f"    # window {j}")
+            for _cyc, k, op in self._window_ops(j):
+                self._emit_instance(op, k=k)
+        if steady_hi > steady_lo:
+            template = self._steady_template()
+            n_steady = steady_hi - steady_lo
+            n_full, rem = divmod(n_steady, s)
+            steady_ops = {op.opid for _c, _s, op in template
+                          if op.is_memory}
+            if n_full:
+                for opid in sorted(steady_ops):
+                    op = self._by_id[opid]
+                    stride = self._patterns[opid].stride
+                    t = self.schedule.times[opid]
+                    first_k = sc - t // self.ii
+                    off = stride * first_k
+                    init = f"b{opid} + {off}" if off else f"b{opid}"
+                    body.append(f"    a{opid} = {init}")
+                body.append(f"    for _ in range({n_full}):")
+                for r in range(s):
+                    body.append(f"        # steady phase {r}")
+                    for _cyc, stage, op in template:
+                        phase = (sc + r - stage) % s
+                        self._emit_instance(
+                            op, k=None, slot_phase=phase,
+                            steady_offset=r, indent="        ")
+                for opid in sorted(steady_ops):
+                    stride = self._patterns[opid].stride
+                    body.append(f"        a{opid} += {stride * s}")
+            # Remainder windows keep static iterations: their slot
+            # phases (sc + r - stage) mod S are independent of n_full.
+            for r in range(rem):
+                j = steady_lo + n_full * s + r
+                body.append(f"    # window {j} (steady remainder)")
+                for _cyc, k, op in self._window_ops(j):
+                    self._emit_instance(op, k=k)
+        for j in range(max(sc, trips), total):
+            body.append(f"    # window {j} (epilogue)")
+            for _cyc, k, op in self._window_ops(j):
+                self._emit_instance(op, k=k)
+
+        # Live-outs: the textually last producer's final-iteration value.
+        out_regs: list[Reg] = []
+        returns: list[str] = []
+        for reg in self.loop.live_outs:
+            producer = None
+            for op in self.loop.body:
+                if reg in op.dests:
+                    producer = op.opid
+            if producer is None:
+                continue  # live-in passthrough, handled by the wrapper
+            if producer not in self.schedule.times:
+                raise SpecializationUnsupported(
+                    f"live-out {reg} produced by unscheduled op{producer}")
+            if reg in out_regs:
+                continue
+            out_regs.append(reg)
+            returns.append(self._var(producer, reg, (trips - 1) % s))
+        body.append(f"    return ({', '.join(returns)}{',' if returns else ''})")
+
+        # Stream-base prelude, now that the parameter list is final.
+        prelude: list[str] = []
+        emitted_bases: set[int] = set()
+        for op in self.loop.body:
+            if op.opid in self._patterns and op.opid not in emitted_bases:
+                emitted_bases.add(op.opid)
+                pattern = self._patterns[op.opid]
+                terms = [str(pattern.base.const)]
+                for (space, name), coeff in pattern.base.terms:
+                    param = self._live_in(Reg(name, space))
+                    terms.append(f"{coeff} * int({param})" if coeff != 1
+                                 else f"int({param})")
+                prelude.append(f"    b{op.opid} = " + " + ".join(terms))
+        params = ", ".join(f"L{i}" for i in range(len(self.params)))
+        header = [f"def __specialized(__cells{', ' if params else ''}"
+                  f"{params}):"]
+        source = "\n".join(header + body[:prelude_mark] + prelude
+                           + body[prelude_mark:]) + "\n"
+        return source, list(self.params), out_regs
+
+
+def _closed_form_facts(image: KernelImage, trips: int
+                       ) -> tuple[int, int, dict[str, float]]:
+    """Cycles, max inflight and utilization, exactly as the event
+    executor computes them (term for term, so float division over the
+    same integers yields bit-identical values)."""
+    schedule = image.schedule
+    ii = schedule.ii
+    times = schedule.times
+    if times:
+        mx = max(t + image.dfg.latency(opid) for opid, t in times.items())
+        last_completion = (trips - 1) * ii + mx
+        span = max(times.values()) - min(times.values())
+        max_inflight = min(trips, span // ii + 1)
+    else:
+        last_completion = 0
+        max_inflight = 0
+    cycles = max(last_completion,
+                 (trips - 1) * ii + schedule.completion_time(image.dfg))
+    # busy counts in the executor's first-occurrence order: each op's
+    # first event is its k=0 instance at absolute cycle t.
+    index = {op.opid: i for i, op in enumerate(image.loop.body)}
+    scheduled = sorted(
+        (op for op in image.loop.body if op.opid in times),
+        key=lambda op: (times[op.opid], index[op.opid]))
+    busy: dict[str, int] = {}
+    for op in scheduled:
+        resource = sched_resource(op)
+        busy[resource] = busy.get(resource, 0) + trips
+    units = schedule.units
+    utilization: dict[str, float] = {}
+    for resource, count in busy.items():
+        capacity = units.get(resource, 0) * ii * trips
+        if capacity:
+            utilization[resource] = count / capacity
+    return cycles, max_inflight, utilization
+
+
+def specialize(image: KernelImage, trips: int) -> SpecializedKernel:
+    """Compile *image* at trip count *trips* into one Python function.
+
+    Raises :class:`SpecializationUnsupported` for shapes the generated
+    code cannot reproduce bit-identically (the caller falls back to the
+    reference executors).
+    """
+    if trips <= 0:
+        raise SpecializationUnsupported("non-positive trip count")
+    loop = image.loop
+    if loop.annotations.get("while_loop"):
+        raise SpecializationUnsupported("while loop: trips are speculative")
+    gen = _Codegen(image, trips)
+    source, params, out_regs = gen.generate()
+    namespace = dict(_HELPERS)
+    code = compile(source, f"<specialized {loop.name}>", "exec")
+    exec(code, namespace)
+    fn = namespace["__specialized"]
+    cycles, max_inflight, utilization = _closed_form_facts(image, trips)
+    # Stream bases are required live-ins too (resolve_pattern raises on
+    # a missing one); collect load-stream fan-in for the closed-form
+    # FIFO occupancy of the vm.run_loop tier.
+    required = frozenset(gen.required)
+    seen: dict[tuple, int] = {}
+    load_stream_ops: dict[int, int] = {}
+    n_mem_ops = 0
+    for op in loop.body:
+        if not op.is_memory:
+            continue
+        n_mem_ops += 1
+        pattern = gen._patterns[op.opid]
+        key = pattern.key()
+        if key not in seen:
+            seen[key] = len(seen)
+        if op.is_load:
+            sid = seen[key]
+            load_stream_ops[sid] = load_stream_ops.get(sid, 0) + 1
+    return SpecializedKernel(
+        loop_name=loop.name, source=source, fn=fn, trips=trips,
+        params=tuple(params), out_regs=tuple(out_regs),
+        required=required, cycles=cycles, max_inflight=max_inflight,
+        utilization=utilization, n_mem_ops=n_mem_ops,
+        load_stream_ops=load_stream_ops)
+
+
+# -- tier dispatch ------------------------------------------------------------
+
+def execute_pipelined(image: KernelImage, memory: Memory,
+                      live_in_values: Mapping[Reg, Value],
+                      trip_count: Optional[int] = None,
+                      fault_hook=None) -> OverlappedRun:
+    """Tier-aware drop-in for :func:`execute_overlapped`.
+
+    At engine level >= 2 (and with no fault hook — injection is an
+    event-level seam only the event executor honours) the specialized
+    kernel runs instead of the event simulation; every unsupported or
+    failing case falls back to the reference executor, which reports
+    faults identically.
+    """
+    from repro import perf
+    trips = image.loop.trip_count if trip_count is None else trip_count
+    if (perf.engine_level() < 2 or fault_hook is not None or trips <= 0):
+        return execute_overlapped(image, memory, live_in_values,
+                                  trip_count, fault_hook)
+    kernel = kernel_for(image, trips)
+    if kernel is None or not kernel.required <= set(live_in_values):
+        return execute_overlapped(image, memory, live_in_values,
+                                  trip_count, fault_hook)
+    try:
+        live_outs = kernel.run(memory, live_in_values)
+    except AcceleratorFault:
+        raise
+    except Exception:
+        # Generated-code failure: permanent deopt for this loop, then
+        # the reference executor decides what the real outcome is.
+        invalidate_loop(image.loop.name)
+        return execute_overlapped(image, memory, live_in_values,
+                                  trip_count, fault_hook)
+    for reg in image.loop.live_outs:
+        if reg not in live_outs and reg in live_in_values:
+            producer = any(reg in op.dests for op in image.loop.body)
+            if not producer:
+                live_outs[reg] = live_in_values[reg]
+    if _test_corruption is not None:
+        live_outs = _test_corruption(image.loop.name, dict(live_outs))
+    obs.inc("vm.specialized")
+    return OverlappedRun(iterations=trips, cycles=kernel.cycles,
+                         live_outs=live_outs,
+                         max_inflight_iterations=kernel.max_inflight,
+                         utilization=dict(kernel.utilization))
+
+
+def invoke_specialized(accelerator, image: KernelImage, memory: Memory,
+                       live_in_values: Mapping[Reg, Value],
+                       trip_count: Optional[int] = None
+                       ) -> Optional[AcceleratorRun]:
+    """Specialized stand-in for ``LoopAccelerator.invoke``.
+
+    Returns None when the image (or this trip count) is not specialized
+    — the caller must then take the reference ``invoke`` path.  The
+    accounting facts (register-file writes, address checks, FIFO
+    occupancy, kernel/overhead cycles) are closed forms of the same
+    quantities the iteration-by-iteration machine measures.
+    """
+    from repro import perf
+    if perf.engine_level() < 2:
+        return None
+    if accelerator.admits(image) is not None:
+        return None  # reference invoke raises the identical fault
+    loop = image.loop
+    trips = loop.trip_count if trip_count is None else trip_count
+    if trips <= 0:
+        return None
+    kernel = kernel_for(image, trips)
+    if kernel is None or not kernel.required <= set(live_in_values):
+        return None
+    try:
+        live_outs = kernel.run(memory, live_in_values)
+    except AcceleratorFault:
+        raise
+    except Exception:
+        invalidate_loop(loop.name)
+        return None
+    accelerator.invocations += 1
+    int_writes = 0
+    fp_writes = 0
+    config = accelerator.config
+    for reg, phys in image.registers.mapping.items():
+        if reg in live_in_values:
+            if reg.space == "fp":
+                accelerator.fp_regs.write(
+                    min(phys, config.num_fp_regs - 1), live_in_values[reg])
+                fp_writes += 1
+            else:
+                accelerator.int_regs.write(
+                    min(phys, config.num_int_regs - 1), live_in_values[reg])
+                int_writes += 1
+    for reg in loop.live_outs:
+        if reg not in live_outs and reg in live_in_values:
+            live_outs[reg] = live_in_values[reg]
+    if _test_corruption is not None:
+        live_outs = _test_corruption(loop.name, dict(live_outs))
+    obs.inc("vm.specialized")
+    kernel_cycles = image.schedule.kernel_cycles(trips, image.dfg)
+    overhead = (2 * config.bus_latency + int_writes + fp_writes
+                + len(loop.live_outs))
+    fifo_max = {sid: min(count * trips, 8)
+                for sid, count in kernel.load_stream_ops.items()}
+    return AcceleratorRun(
+        iterations=trips, kernel_cycles=kernel_cycles,
+        overhead_cycles=overhead, live_outs=live_outs,
+        fifo_max_occupancy=fifo_max,
+        addresses_checked=kernel.n_mem_ops * trips)

@@ -65,6 +65,12 @@ class KernelImage:
         config: The accelerator this image was compiled for.
         rotation: Physical placement of cross-stage values (modulo
             variable expansion); None for hand-built images.
+        digest: The transcache content digest this image was cached
+            under; the specialization tier (:mod:`repro.accelerator.jit`)
+            keys its compiled-function cache on it so service workers
+            and ``run_loop`` cache hints reuse one compilation.  None
+            for hand-built or uncached images (the jit derives a
+            content key itself).
     """
 
     loop: Loop
@@ -75,6 +81,7 @@ class KernelImage:
     registers: RegisterAssignment
     config: LAConfig
     rotation: Optional[PhysicalAssignment] = None
+    digest: Optional[str] = None
 
     @property
     def ii(self) -> int:

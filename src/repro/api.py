@@ -75,8 +75,10 @@ class Settings:
 
     #: Worker processes experiment fan-out may use (1 = serial).
     jobs: int = 1
-    #: Whether the compiled/cached fast paths are active.
-    engine: bool = True
+    #: Engine tier: 0 = reference interpreter only, 1 = compiled per-op
+    #: closures + caching, 2 = specialized kernels (the default).
+    #: Boolean spellings still parse (False -> 0, True -> 2).
+    engine: int = 2
     #: On-disk translation-cache directory (None = memory-only).
     cache_dir: Optional[str] = None
     #: JSONL span-trace sink (None = tracing off).
@@ -98,7 +100,7 @@ class Settings:
     @classmethod
     def from_env(cls, environ: Optional[Mapping[str, str]] = None, *,
                  jobs: Optional[int | str] = None,
-                 engine: Optional[bool] = None,
+                 engine: Optional[bool | int | str] = None,
                  cache_dir: Optional[str] = None,
                  trace_path: Optional[str] = None,
                  incident_log: Optional[str] = None,
@@ -122,8 +124,10 @@ class Settings:
         else:
             raw = env.get(JOBS_ENV)
             job_count = cls._parse_jobs(raw, JOBS_ENV) if raw else 1
+        engine_source = "engine" if engine is not None else ENGINE_ENV
         if engine is None:
-            engine = env.get(ENGINE_ENV, "1") not in ("0", "false")
+            engine = env.get(ENGINE_ENV)
+        engine_level = cls._parse_engine(engine, engine_source)
         if service_port is None:
             service_port = env.get(SERVICE_PORT_ENV, 0)
         if retry_attempts is None:
@@ -132,7 +136,7 @@ class Settings:
             retry_backoff_s = env.get(RETRY_BACKOFF_ENV, 0.02)
         return cls(
             jobs=job_count,
-            engine=engine,
+            engine=engine_level,
             cache_dir=cache_dir or env.get(CACHE_DIR_ENV) or None,
             trace_path=trace_path or env.get(TRACE_ENV) or None,
             incident_log=incident_log or env.get(INCIDENT_LOG_ENV) or None,
@@ -147,6 +151,17 @@ class Settings:
             retry_backoff_s=cls._parse_seconds(retry_backoff_s,
                                                RETRY_BACKOFF_ENV),
         )
+
+    @staticmethod
+    def _parse_engine(value: bool | int | str | None, source: str) -> int:
+        from repro import perf
+        try:
+            return perf.parse_engine_level(value)
+        except ValueError:
+            raise SettingsError(
+                f"{source} must be an engine level 0..2 or a boolean "
+                f"spelling, got {value!r}",
+                name=source, value=str(value)) from None
 
     @staticmethod
     def _parse_jobs(value: int | str, source: str) -> int:
@@ -211,7 +226,7 @@ class Settings:
         """
         from repro import obs, perf
         from repro.resilience.incidents import incident_log
-        perf.set_engine_enabled(self.engine)
+        perf.set_engine_level(self.engine)
         perf.set_jobs(self.jobs)
         if self.cache_dir is not None:
             perf.translation_cache().attach_disk(self.cache_dir,

@@ -265,8 +265,8 @@ def main(argv: Optional[list[str]] = None) -> int:
                        help="worker processes for sweep fan-out "
                             "(default: REPRO_JOBS or 1)")
     bench.add_argument("--figures", default=None,
-                       help="comma-separated figure names "
-                            "(default: fig3a,fig3b,fig4a,fig4b)")
+                       help="comma-separated figure names (default: "
+                            "fig3a,fig3b,fig4a,fig4b,utilization)")
     bench.add_argument("--output", "-o", default=None,
                        help="JSON report path (default "
                             "benchmarks/results/BENCH_experiments.json)")
@@ -274,6 +274,10 @@ def main(argv: Optional[list[str]] = None) -> int:
                        help="skip the slow engine-off reference pass")
     bench.add_argument("--disk-cache", action="store_true",
                        help="attach the on-disk translation cache layer")
+    bench.add_argument("--compare", action="store_true",
+                       help="regression gate: exit nonzero when a "
+                            "figure's warm speedup drops >10%% below "
+                            "the committed report")
     trace = sub.add_parser("trace",
                            help="run one figure with span tracing on and "
                                 "write a JSONL trace file")
@@ -426,19 +430,34 @@ def main(argv: Optional[list[str]] = None) -> int:
     if args.command == "bench":
         from repro.experiments.bench import (
             DEFAULT_OUTPUT,
+            compare_report,
             format_bench,
+            load_baseline,
             run_bench,
             write_report,
         )
+        output = args.output or DEFAULT_OUTPUT
+        # The committed report is the --compare baseline; read it
+        # before write_report overwrites it with this run.
+        baseline = load_baseline(output) if args.compare else None
         figures = (args.figures.split(",") if args.figures else None)
         report = run_bench(
             figures=figures, jobs=args.jobs,
             skip_reference=args.skip_reference,
             disk_cache=args.disk_cache,
             progress=lambda msg: print(f"... {msg}", file=sys.stderr))
-        path = write_report(report, args.output or DEFAULT_OUTPUT)
+        path = write_report(report, output)
         print(format_bench(report))
         print(f"report written to {path}")
+        if args.compare:
+            problems = compare_report(report, baseline)
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            if baseline is None:
+                print("--compare: no committed baseline report; "
+                      "identity checks only", file=sys.stderr)
+            if problems:
+                return 1
         return 0 if report.all_identical else 1
     if args.command == "trace":
         from repro import obs

@@ -1,21 +1,30 @@
 """Benchmark the experiment engine against the reference serial path.
 
-``python -m repro bench`` regenerates the selected figures three times:
+``python -m repro bench`` regenerates the selected figures once per
+engine tier:
 
-1. **reference** — performance engine off (reference interpreter, no
+1. **reference** — engine level 0 (reference interpreter, no
    translation/cycles caching) and a single process: the pre-engine
    serial path, timed honestly from cold caches;
-2. **engine (cold)** — engine on, caches cleared first, ``--jobs``
-   workers: what a fresh CLI invocation costs;
-3. **engine (warm)** — engine on with the caches left hot: what every
-   subsequent figure in the same process costs.
+2. **engine (cold)** — level 1 (compiled closures + caching), caches
+   cleared first, ``--jobs`` workers: what a fresh invocation costs,
+   translation included;
+3. **engine (warm)** — level 1 with the caches left hot: what every
+   subsequent figure in the same process costs;
+4. **specialized (warm)** — level 2 (specialized kernels from
+   :mod:`repro.accelerator.jit`) after one warm-up regeneration that
+   populates the code cache: the steady-state cost of the top tier.
 
-The figure *text* must come out byte-identical across all three passes
-(the engine's contract is bit-identical results, only faster); the
-report records per-figure wall clock, the speedup, the equality
-verdict, cache statistics, and the aggregate speedup over the
-design-space sweep figures — written to
-``benchmarks/results/BENCH_experiments.json``.
+Cold and warm speedups are reported *separately* — the cold number
+pays the one-time translation/compilation cost and must never be
+quoted as the engine's steady-state speedup.  The figure *text* must
+come out byte-identical across every pass (each tier's contract is
+bit-identical results, only faster); the report records per-figure
+wall clock, the three speedups, the equality verdict, cache
+statistics, and the aggregate speedup over the design-space sweep
+figures — written to ``benchmarks/results/BENCH_experiments.json``.
+:func:`compare_report` diffs a fresh run against the last committed
+report and flags warm-speedup regressions (the ``--compare`` gate).
 """
 
 from __future__ import annotations
@@ -33,21 +42,38 @@ from repro import obs, perf
 #: (>= 3x end-to-end vs. the reference serial path) aggregates these.
 SWEEP_FIGURES = ("fig3a", "fig3b", "fig4a", "fig4b")
 
+#: What ``bench`` runs by default: the sweeps plus the hot figure the
+#: specialization tier targets (the only one driving the overlapped
+#: pipeline executor).
+DEFAULT_BENCH_FIGURES = SWEEP_FIGURES + ("utilization",)
+
 DEFAULT_OUTPUT = os.path.join("benchmarks", "results",
                               "BENCH_experiments.json")
+
+#: ``--compare`` fails on a warm speedup more than this far below the
+#: committed baseline's.
+REGRESSION_THRESHOLD = 0.10
 
 
 @dataclass
 class FigureBench:
-    """Three timed regenerations of one figure."""
+    """Timed regenerations of one figure, one per engine tier."""
 
     name: str
     reference_s: Optional[float]
     engine_s: float
     warm_s: float
-    #: reference / engine-cold wall clock; None only when no reference
+    #: Level-2 wall clock with a hot code cache (None if that pass
+    #: was not run).
+    specialized_s: Optional[float]
+    #: reference / engine-cold: pays translation + compilation, the
+    #: honest cost of a fresh invocation.  None only when no reference
     #: is available at all (skipped AND no committed baseline).
-    speedup: Optional[float]
+    speedup_cold: Optional[float]
+    #: reference / engine-warm: the steady-state compiled-tier speedup.
+    speedup_warm: Optional[float]
+    #: reference / specialized-warm: the steady-state top-tier speedup.
+    speedup_specialized: Optional[float]
     #: Figure text identical across every pass that ran.
     identical: bool
     #: "measured" when the reference pass ran this invocation;
@@ -63,6 +89,8 @@ class BenchReport:
     sweep_reference_s: Optional[float]
     sweep_engine_s: Optional[float]
     sweep_speedup: Optional[float]
+    sweep_warm_s: Optional[float]
+    sweep_speedup_warm: Optional[float]
     jobs: int
     disk_cache: bool
     cache_stats: dict
@@ -118,9 +146,9 @@ def run_bench(figures: Optional[list[str]] = None,
               disk_cache: bool = False,
               progress: Optional[Callable[[str], None]] = None
               ) -> BenchReport:
-    """Benchmark *figures* (default: the Figure 3/4 sweeps)."""
+    """Benchmark *figures* (default: sweeps + the utilization figure)."""
     registry = _figure_registry()
-    names = list(figures) if figures else list(SWEEP_FIGURES)
+    names = list(figures) if figures else list(DEFAULT_BENCH_FIGURES)
     unknown = [n for n in names if n not in registry]
     if unknown:
         raise KeyError(f"unknown figures: {', '.join(unknown)}; "
@@ -149,7 +177,7 @@ def run_bench(figures: Optional[list[str]] = None,
         previous_jobs = perf.get_jobs()
         perf.set_jobs(1)
         try:
-            with perf.engine_disabled():
+            with perf.engine_at(0):
                 for name in names:
                     note(f"{name}: reference (engine off, serial)")
                     reference_times[name], reference_texts[name] = \
@@ -162,44 +190,74 @@ def run_bench(figures: Optional[list[str]] = None,
         perf.enable_disk_cache()
     engine_times: dict[str, float] = {}
     engine_texts: dict[str, str] = {}
-    for name in names:
-        note(f"{name}: engine cold ({effective_jobs} jobs)")
-        engine_times[name], engine_texts[name] = \
-            _timed(registry[name], name, "cold")
+    warm_times: dict[str, float] = {}
+    warm_texts: dict[str, str] = {}
+    with perf.engine_at(1):
+        for name in names:
+            note(f"{name}: engine cold ({effective_jobs} jobs)")
+            engine_times[name], engine_texts[name] = \
+                _timed(registry[name], name, "cold")
+        for name in names:
+            note(f"{name}: engine warm")
+            warm_times[name], warm_texts[name] = \
+                _timed(registry[name], name, "warm")
+
+    specialized_times: dict[str, float] = {}
+    specialized_texts: dict[str, str] = {}
+    with perf.engine_at(2):
+        for name in names:
+            # One untimed regeneration populates the specialized code
+            # cache; the timed run is the tier's steady-state cost.
+            note(f"{name}: specialized warm-up + timed")
+            registry[name]()
+            specialized_times[name], specialized_texts[name] = \
+                _timed(registry[name], name, "specialized")
 
     results: list[FigureBench] = []
     for name in names:
-        note(f"{name}: engine warm")
-        warm_s, warm_text = _timed(registry[name], name, "warm")
         reference_s = reference_times.get(name)
         source = "measured" if reference_s is not None else None
         if reference_s is None and name in baseline_refs:
             reference_s = baseline_refs[name]
             source = "baseline"
         engine_s = engine_times[name]
+        warm_s = warm_times[name]
+        specialized_s = specialized_times[name]
         texts = [t for t in (reference_texts.get(name),
-                             engine_texts[name], warm_text)
+                             engine_texts[name], warm_texts[name],
+                             specialized_texts[name])
                  if t is not None]
         identical = all(t == texts[0] for t in texts)
-        speedup = (reference_s / engine_s
-                   if reference_s is not None and engine_s > 0 else None)
+
+        def ratio(denominator: Optional[float]) -> Optional[float]:
+            if reference_s is None or not denominator:
+                return None
+            return reference_s / denominator
+
         results.append(FigureBench(
             name=name, reference_s=reference_s, engine_s=engine_s,
-            warm_s=warm_s, speedup=speedup, identical=identical,
-            reference_source=source))
+            warm_s=warm_s, specialized_s=specialized_s,
+            speedup_cold=ratio(engine_s), speedup_warm=ratio(warm_s),
+            speedup_specialized=ratio(specialized_s),
+            identical=identical, reference_source=source))
 
     swept = [f for f in results if f.name in SWEEP_FIGURES]
     sweep_ref = (sum(f.reference_s for f in swept)
                  if swept and all(f.reference_s is not None for f in swept)
                  else None)
     sweep_eng = sum(f.engine_s for f in swept) if swept else None
+    sweep_warm = sum(f.warm_s for f in swept) if swept else None
     sweep_speedup = (sweep_ref / sweep_eng
                      if sweep_ref is not None and sweep_eng else None)
+    sweep_speedup_warm = (sweep_ref / sweep_warm
+                          if sweep_ref is not None and sweep_warm else None)
     return BenchReport(
         figures=results,
         sweep_reference_s=sweep_ref,
         sweep_engine_s=sweep_eng,
         sweep_speedup=sweep_speedup,
+        sweep_warm_s=sweep_warm,
+        sweep_speedup_warm=sweep_speedup_warm,
         jobs=effective_jobs,
         disk_cache=disk_cache,
         cache_stats=perf.cache_stats(),
@@ -222,7 +280,9 @@ def write_report(report: BenchReport,
                         if f.name in SWEEP_FIGURES],
             "reference_s": report.sweep_reference_s,
             "engine_s": report.sweep_engine_s,
+            "warm_s": report.sweep_warm_s,
             "speedup": report.sweep_speedup,
+            "speedup_warm": report.sweep_speedup_warm,
             "reference_source": (
                 "baseline" if any(f.reference_source == "baseline"
                                   for f in report.figures)
@@ -249,6 +309,10 @@ def write_report(report: BenchReport,
 
 def format_bench(report: BenchReport) -> str:
     from repro.experiments.common import format_table, fmt
+
+    def speed(value: Optional[float], star: str = "") -> str:
+        return f"{value:.2f}x{star}" if value is not None else "-"
+
     rows = []
     baseline_used = False
     for f in report.figures:
@@ -260,24 +324,28 @@ def format_bench(report: BenchReport) -> str:
             if f.reference_s is not None else "-",
             fmt(f.engine_s, 2),
             fmt(f.warm_s, 2),
-            (f"{f.speedup:.2f}x" + star)
-            if f.speedup is not None else "-",
+            fmt(f.specialized_s, 2) if f.specialized_s is not None else "-",
+            speed(f.speedup_cold, star),
+            speed(f.speedup_warm, star),
+            speed(f.speedup_specialized, star),
             "yes" if f.identical else "NO",
         ))
     table = format_table(
-        ["figure", "reference [s]", "engine cold [s]", "engine warm [s]",
-         "speedup", "identical"],
+        ["figure", "reference [s]", "cold [s]", "warm [s]", "spec [s]",
+         "cold x", "warm x", "spec x", "identical"],
         rows, title="Experiment engine benchmark")
     lines = [table]
     if baseline_used:
         lines.append("* reference wall clock reused from the last "
                      "committed baseline (--skip-reference)")
     if report.sweep_speedup is not None:
+        warm_part = (f", {report.sweep_speedup_warm:.2f}x warm"
+                     if report.sweep_speedup_warm is not None else "")
         lines.append(
             f"design-space sweeps ({', '.join(SWEEP_FIGURES)}): "
             f"{report.sweep_reference_s:.2f}s reference -> "
-            f"{report.sweep_engine_s:.2f}s engine "
-            f"({report.sweep_speedup:.2f}x)")
+            f"{report.sweep_engine_s:.2f}s engine cold "
+            f"({report.sweep_speedup:.2f}x{warm_part})")
     t = report.cache_stats.get("translation", {})
     lines.append(
         f"translation cache: {t.get('hits', 0)} hits / "
@@ -295,3 +363,53 @@ def format_bench(report: BenchReport) -> str:
     lines.append("figure text identical across passes: "
                  + ("yes" if report.all_identical else "NO"))
     return "\n".join(lines)
+
+
+def load_baseline(path: str = DEFAULT_OUTPUT) -> Optional[dict]:
+    """The last committed report payload, or None when unreadable.
+
+    Load this *before* :func:`write_report` overwrites the file.
+    """
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def compare_report(report: BenchReport, baseline: Optional[dict],
+                   threshold: float = REGRESSION_THRESHOLD) -> list[str]:
+    """Warm-speedup regressions of *report* vs a committed *baseline*.
+
+    Returns one message per figure whose warm speedup fell more than
+    *threshold* below the baseline's (the ``--compare`` gate exits
+    nonzero when this list is non-empty).  Figures absent from either
+    side, or without a ``speedup_warm`` on both sides (e.g. a baseline
+    written before the column existed, or a ``--skip-reference`` run
+    with no reference at all), are skipped — the gate compares only
+    what both runs actually measured.  Identity failures are always
+    regressions, whatever the timings say.
+    """
+    problems: list[str] = []
+    for f in report.figures:
+        if not f.identical:
+            problems.append(f"{f.name}: figure text not identical "
+                            f"across engine tiers")
+    if baseline is None:
+        return problems
+    baseline_warm = {
+        f["name"]: float(f["speedup_warm"])
+        for f in baseline.get("figures", [])
+        if isinstance(f, dict) and f.get("speedup_warm") is not None
+    }
+    for f in report.figures:
+        base = baseline_warm.get(f.name)
+        if base is None or f.speedup_warm is None or base <= 0:
+            continue
+        if f.speedup_warm < base * (1.0 - threshold):
+            problems.append(
+                f"{f.name}: warm speedup {f.speedup_warm:.2f}x is "
+                f"{(1.0 - f.speedup_warm / base):.0%} below the "
+                f"committed baseline's {base:.2f}x "
+                f"(threshold {threshold:.0%})")
+    return problems

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.accelerator.config import PROPOSED_LA
-from repro.accelerator.pipeline_executor import execute_overlapped
+from repro.accelerator.jit import execute_pipelined
 from repro.cpu.interpreter import standard_live_ins
 from repro.experiments.common import format_table, fmt
 from repro.vm.runtime import _prepare_memory
@@ -57,7 +57,7 @@ def run_utilization(benchmarks: Optional[list[Benchmark]] = None,
             memory = _prepare_memory(result.image.loop, seed=77)
             live = standard_live_ins(result.image.loop, memory,
                                      DEFAULT_SCALARS)
-            run = execute_overlapped(result.image, memory, live,
+            run = execute_pipelined(result.image, memory, live,
                                      trip_count=small.trip_count)
             rows.append(UtilizationRow(
                 loop=loop.name, ii=result.image.ii,

@@ -8,20 +8,56 @@ result bit (see DESIGN.md, "Performance engineering"):
    timing (:mod:`repro.perf.transcache`, :mod:`repro.perf.digest`),
 3. process-parallel experiment fan-out (:mod:`repro.perf.parallel`).
 
-This module owns the global switches those layers consult: whether the
-engine is on at all (``REPRO_ENGINE=0`` or :func:`engine_disabled`
-reverts every hot path to the reference implementation), how many
-worker processes sweeps may use (``--jobs`` / ``REPRO_JOBS``), and the
-process-wide cache instances with their aggregate statistics.
+This module owns the global switches those layers consult: the engine
+*level* (``REPRO_ENGINE``: ``0`` = reference interpreter only, ``1`` =
+compiled per-op closures and caching, ``2`` = specialized kernels from
+:mod:`repro.accelerator.jit`; :func:`engine_disabled` reverts every hot
+path to the reference implementation), how many worker processes sweeps
+may use (``--jobs`` / ``REPRO_JOBS``), and the process-wide cache
+instances with their aggregate statistics.
 """
 
 from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Union
 
-_engine_enabled = os.environ.get("REPRO_ENGINE", "1") not in ("0", "false")
+#: Highest engine tier (and the default): specialized kernels.
+MAX_ENGINE_LEVEL = 2
+
+
+def parse_engine_level(value: Union[str, bool, int, None]) -> int:
+    """Normalise an engine switch to a level in [0, MAX_ENGINE_LEVEL].
+
+    Accepts the historical boolean spellings (``"0"``/``"false"``/
+    ``"off"`` disable everything; ``"true"``/``"on"`` mean the full
+    engine) alongside the numeric tiers.  Raises ValueError on junk.
+    """
+    if value is None:
+        return MAX_ENGINE_LEVEL
+    if isinstance(value, bool):
+        return MAX_ENGINE_LEVEL if value else 0
+    if isinstance(value, int):
+        return max(0, min(MAX_ENGINE_LEVEL, value))
+    text = str(value).strip().lower()
+    if text in ("", "true", "on"):
+        return MAX_ENGINE_LEVEL
+    if text in ("false", "off"):
+        return 0
+    return max(0, min(MAX_ENGINE_LEVEL, int(text)))
+
+
+def _level_from_env() -> int:
+    # Permissive on purpose (like REPRO_JOBS below): a malformed value
+    # must not blow up `import repro`; Settings.from_env rejects loudly.
+    try:
+        return parse_engine_level(os.environ.get("REPRO_ENGINE"))
+    except ValueError:
+        return MAX_ENGINE_LEVEL
+
+
+_engine_level = _level_from_env()
 
 
 def _jobs_from_env() -> int:
@@ -40,27 +76,44 @@ _jobs = _jobs_from_env()
 IN_WORKER_ENV = "REPRO_IN_WORKER"
 
 
+def engine_level() -> int:
+    """The active engine tier (0 reference, 1 compiled, 2 specialized)."""
+    return _engine_level
+
+
+def set_engine_level(level: Union[int, bool]) -> None:
+    global _engine_level
+    _engine_level = parse_engine_level(level)
+
+
 def engine_enabled() -> bool:
-    """Whether the compiled/cached fast paths are active."""
-    return _engine_enabled
+    """Whether the compiled/cached fast paths are active (level >= 1)."""
+    return _engine_level >= 1
 
 
-def set_engine_enabled(value: bool) -> None:
-    global _engine_enabled
-    _engine_enabled = bool(value)
+def set_engine_enabled(value: Union[bool, int]) -> None:
+    """Back-compat boolean switch: False -> level 0, True -> full engine."""
+    set_engine_level(value)
+
+
+@contextmanager
+def engine_at(level: int) -> Iterator[None]:
+    """Run a block at a specific engine tier (bench pass isolation)."""
+    global _engine_level
+    previous = _engine_level
+    _engine_level = parse_engine_level(level)
+    try:
+        yield
+    finally:
+        _engine_level = previous
 
 
 @contextmanager
 def engine_disabled() -> Iterator[None]:
     """Run a block on the pre-engine reference paths (used by
     ``python -m repro bench`` to time the serial baseline honestly)."""
-    global _engine_enabled
-    previous = _engine_enabled
-    _engine_enabled = False
-    try:
+    with engine_at(0):
         yield
-    finally:
-        _engine_enabled = previous
 
 
 def get_jobs() -> int:
@@ -116,6 +169,10 @@ def clear_caches() -> None:
     cycles_cache.clear()
     baseline_cache.clear()
     analysis_cache.clear()
+    from repro.accelerator import jit
+    jit.clear_code_cache()
+    from repro.workloads import suite
+    suite._fission_cache.clear()
 
 
 #: The translation-cache counters that worker processes report back to
@@ -146,6 +203,11 @@ def merge_counters(delta: dict) -> None:
         setattr(stats, name, getattr(stats, name) + delta.get(name, 0))
 
 
+def _specialized_stats() -> dict:
+    from repro.accelerator import jit
+    return jit.code_cache_stats()
+
+
 def cache_stats() -> dict:
     """Aggregate statistics for ``BENCH_experiments.json``."""
     from repro.resilience.incidents import incident_log
@@ -162,6 +224,7 @@ def cache_stats() -> dict:
         "cycles_entries": len(cycles_cache),
         "baseline_entries": len(baseline_cache),
         "analysis_entries": len(analysis_cache),
+        "specialized": _specialized_stats(),
         #: kind -> count of resilience-layer recoveries this process
         #: took (quarantines, worker losses, serial fallbacks, ...).
         "incidents": incident_log().counts(),

@@ -22,7 +22,7 @@ from repro.ir.ops import Imm, Operation, Reg
 
 #: Bump when digest composition or cached-value layout changes, so a
 #: stale on-disk cache can never resurface under a new code version.
-DIGEST_VERSION = "veal-perf-1"
+DIGEST_VERSION = "veal-perf-2"
 
 _LOOP_DIGEST_ATTR = "_veal_loop_digest"
 

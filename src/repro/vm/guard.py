@@ -220,9 +220,13 @@ def differential_check(image: KernelImage, memory: Memory,
     accel_mem = memory.clone()
     accel_run: Optional[OverlappedRun] = None
     try:
-        accel_run = execute_overlapped(image, accel_mem, live_ins,
-                                       trip_count=trip_count,
-                                       fault_hook=fault_hook)
+        # Tier-aware: at engine level >= 2 this runs the specialized
+        # kernel, so the cross-check verifies the generated code itself
+        # against the scalar reference.
+        from repro.accelerator.jit import execute_pipelined
+        accel_run = execute_pipelined(image, accel_mem, live_ins,
+                                      trip_count=trip_count,
+                                      fault_hook=fault_hook)
     except AcceleratorFault as exc:
         mismatches.append(GuardMismatch("fault", str(exc)))
     else:
@@ -398,6 +402,9 @@ class GuardedExecutor:
     def deoptimize(self, name: str, reason: str) -> BlacklistEntry:
         """Invalidate the cached kernel and strike the blacklist."""
         self.cache.invalidate(name)
+        from repro.accelerator import jit
+        jit.invalidate_loop(name)
+        obs.inc("vm.deopt")
         self.stats.deopts += 1
         return self.blacklist.note_failure(name, self.invocations, reason)
 
@@ -428,9 +435,10 @@ class GuardedExecutor:
         if not self.guard.checked:
             accel_mem = memory.clone()
             try:
-                run = execute_overlapped(image, accel_mem, live_ins,
-                                         trip_count=trip_count,
-                                         fault_hook=fault_hook)
+                from repro.accelerator.jit import execute_pipelined
+                run = execute_pipelined(image, accel_mem, live_ins,
+                                        trip_count=trip_count,
+                                        fault_hook=fault_hook)
             except AcceleratorFault as exc:
                 # Structural faults trip even unguarded; recover anyway.
                 self.stats.faults_caught += 1

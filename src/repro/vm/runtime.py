@@ -230,7 +230,16 @@ class VirtualMachine:
                 if deopt:
                     return outcome
             try:
-                run = self.accelerator.invoke(image, memory, live_ins)
+                run = None
+                if not loop.annotations.get("while_loop"):
+                    # Engine tier 2: the specialized kernel stands in
+                    # for the iteration-by-iteration machine; None
+                    # means unsupported and falls through to reference.
+                    from repro.accelerator import jit
+                    run = jit.invoke_specialized(self.accelerator, image,
+                                                 memory, live_ins)
+                if run is None:
+                    run = self.accelerator.invoke(image, memory, live_ins)
             except AcceleratorFault as exc:
                 # A structural invariant tripped mid-invocation; the
                 # atomic-invocation contract (Section 2.1) means no
@@ -256,8 +265,11 @@ class VirtualMachine:
                     reason: str) -> None:
         """Fall back to scalar: drop the translation, record why."""
         obs.inc("guard.deopts")
+        obs.inc("vm.deopt")
         self._translations.pop(loop.name, None)
         self.code_cache.invalidate(loop.name)
+        from repro.accelerator import jit
+        jit.invalidate_loop(loop.name)
         if self.config.accelerator is not None:
             # A translation observed to misbehave must not be re-served
             # from the shared content-addressed cache (or its disk layer).

@@ -564,6 +564,11 @@ def _cached_core(loop: Loop, config: LAConfig,
         if entry is None:
             entry = _translate_core(loop, exact_config, options)
             cache.put(exact_key, entry)
+    if entry.image is not None and \
+            getattr(entry.image, "digest", None) is None:
+        # Stamp the content-addressed cache key onto the image so the
+        # specialization tier can key its compiled-function cache on it.
+        entry.image = replace(entry.image, digest=key)
     return entry
 
 

@@ -41,10 +41,22 @@ def _tagged(loop: Loop, *transforms: str) -> Loop:
     return loop
 
 
+#: Content digest -> fissioned halves.  Fission is deterministic on
+#: loop content and dominates suite construction cost; every suite
+#: build used to re-run the O(n^2) cut search.  Callers get fresh
+#: ``rebuild()`` copies, so the cached halves stay pristine.
+_fission_cache: dict[str, tuple[Loop, Loop]] = {}
+
+
 def fissioned(loop: Loop) -> list[Loop]:
     """Statically fission a too-large loop into accelerable halves."""
-    first, second = fission_loop(loop)
-    return [_tagged(first, "fission"), _tagged(second, "fission")]
+    from repro.perf.digest import loop_digest
+    key = loop_digest(loop)
+    halves = _fission_cache.get(key)
+    if halves is None:
+        halves = fission_loop(loop)
+        _fission_cache[key] = halves
+    return [_tagged(half.rebuild(), "fission") for half in halves]
 
 #: Scalar live-in values used whenever a kernel is executed functionally.
 DEFAULT_SCALARS: dict[str, float] = {

@@ -26,7 +26,7 @@ def tiny_benchmark() -> Benchmark:
 class TestSettings:
     def test_defaults(self):
         settings = Settings.from_env({})
-        assert settings == Settings(jobs=1, engine=True, cache_dir=None,
+        assert settings == Settings(jobs=1, engine=2, cache_dir=None,
                                     trace_path=None, incident_log=None)
 
     def test_env_values(self):
@@ -35,7 +35,7 @@ class TestSettings:
             "REPRO_CACHE_DIR": "/tmp/c", "REPRO_TRACE": "/tmp/t.jsonl",
             "REPRO_INCIDENT_LOG": "/tmp/i.jsonl"})
         assert settings.jobs == 3
-        assert settings.engine is False
+        assert settings.engine == 0
         assert settings.cache_dir == "/tmp/c"
         assert settings.trace_path == "/tmp/t.jsonl"
         assert settings.incident_log == "/tmp/i.jsonl"
@@ -61,16 +61,37 @@ class TestSettings:
         with pytest.raises(SettingsError):
             Settings.from_env({}, jobs=0)
 
+    def test_engine_levels_and_boolean_spellings(self):
+        assert Settings.from_env({"REPRO_ENGINE": "1"}).engine == 1
+        assert Settings.from_env({"REPRO_ENGINE": "2"}).engine == 2
+        assert Settings.from_env({"REPRO_ENGINE": "false"}).engine == 0
+        assert Settings.from_env({"REPRO_ENGINE": "on"}).engine == 2
+        assert Settings.from_env({"REPRO_ENGINE": "9"}).engine == 2
+        assert Settings.from_env({}, engine=True).engine == 2
+        assert Settings.from_env({}, engine=False).engine == 0
+        assert Settings.from_env({}, engine=1).engine == 1
+
+    def test_bad_engine_raises(self):
+        with pytest.raises(SettingsError) as info:
+            Settings.from_env({"REPRO_ENGINE": "fast"})
+        assert "REPRO_ENGINE" in str(info.value)
+        with pytest.raises(SettingsError) as info:
+            Settings.from_env({}, engine="maybe")
+        assert "engine" in str(info.value)
+
     def test_apply_pushes_jobs_and_engine(self):
         from repro import perf
-        jobs_before, engine_before = perf.get_jobs(), perf.engine_enabled()
+        jobs_before, level_before = perf.get_jobs(), perf.engine_level()
         try:
-            Settings(jobs=2, engine=False).apply()
+            Settings(jobs=2, engine=0).apply()
             assert perf.get_jobs() == 2
             assert not perf.engine_enabled()
+            assert perf.engine_level() == 0
+            Settings(jobs=2, engine=1).apply()
+            assert perf.engine_level() == 1
         finally:
             perf.set_jobs(jobs_before)
-            perf.set_engine_enabled(engine_before)
+            perf.set_engine_level(level_before)
 
 
 # -- Session / one-shot helpers ----------------------------------------------

@@ -139,7 +139,11 @@ def test_bench_report_smoke(tmp_path):
     fig = report.figures[0]
     assert fig.name == "fig4b"
     assert fig.identical, "engine output must match the reference text"
-    assert fig.reference_s is not None and fig.speedup is not None
+    assert fig.reference_s is not None
+    assert fig.speedup_cold is not None
+    assert fig.speedup_warm is not None
+    assert fig.specialized_s is not None
+    assert fig.speedup_specialized is not None
     assert report.cache_stats["translation"]["hits"] > 0
     assert report.all_identical
 
@@ -157,6 +161,37 @@ def test_bench_report_smoke(tmp_path):
 def test_bench_rejects_unknown_figures():
     with pytest.raises(KeyError):
         run_bench(figures=["fig99"])
+
+
+def test_compare_report_flags_warm_regressions():
+    from dataclasses import replace
+    from repro.experiments.bench import (BenchReport, FigureBench,
+                                         compare_report)
+    fig = FigureBench(name="figX", reference_s=1.0, engine_s=0.5,
+                      warm_s=0.5, specialized_s=0.4, speedup_cold=2.0,
+                      speedup_warm=2.0, speedup_specialized=2.5,
+                      identical=True)
+    report = BenchReport(
+        figures=[fig], sweep_reference_s=None, sweep_engine_s=None,
+        sweep_speedup=None, sweep_warm_s=None, sweep_speedup_warm=None,
+        jobs=1, disk_cache=False, cache_stats={}, machine={})
+
+    # >10% below the baseline's warm speedup: regression.
+    worse = {"figures": [{"name": "figX", "speedup_warm": 3.0}]}
+    assert compare_report(report, worse)
+    # Within the threshold, or improved: clean.
+    close = {"figures": [{"name": "figX", "speedup_warm": 2.1}]}
+    assert compare_report(report, close) == []
+    better = {"figures": [{"name": "figX", "speedup_warm": 1.0}]}
+    assert compare_report(report, better) == []
+    # No baseline / baseline without the column: identity checks only.
+    assert compare_report(report, None) == []
+    legacy = {"figures": [{"name": "figX", "speedup": 2.0}]}
+    assert compare_report(report, legacy) == []
+    # An identity failure is always a regression, whatever the timings.
+    broken = replace(report, figures=[replace(fig, identical=False)])
+    assert compare_report(broken, better)
+    assert compare_report(broken, None)
 
 
 def test_guard_interpreter_cross_check_clean_on_suite():
