@@ -47,6 +47,7 @@ INCIDENT_LOG_ENV = "REPRO_INCIDENT_LOG"
 SERVICE_HOST_ENV = "REPRO_SERVICE_HOST"
 SERVICE_PORT_ENV = "REPRO_SERVICE_PORT"
 SERVICE_SECRET_ENV = "REPRO_SERVICE_SECRET"
+SHARDS_ENV = "REPRO_SHARDS"
 RETRY_ATTEMPTS_ENV = "REPRO_RETRY_ATTEMPTS"
 RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
 
@@ -93,6 +94,9 @@ class Settings:
     #: non-loopback service host — see the
     #: :mod:`repro.service.wire` trust model.
     service_secret: Optional[str] = None
+    #: Shard processes for the served stack (1 = single server; > 1
+    #: boots a supervised cluster — see :mod:`repro.service.cluster`).
+    shards: int = 1
     #: Network client retry policy (attempts and backoff base).
     retry_attempts: int = 5
     retry_backoff_s: float = 0.02
@@ -107,6 +111,7 @@ class Settings:
                  service_host: Optional[str] = None,
                  service_port: Optional[int | str] = None,
                  service_secret: Optional[str] = None,
+                 shards: Optional[int | str] = None,
                  retry_attempts: Optional[int | str] = None,
                  retry_backoff_s: Optional[float | str] = None
                  ) -> "Settings":
@@ -130,6 +135,8 @@ class Settings:
         engine_level = cls._parse_engine(engine, engine_source)
         if service_port is None:
             service_port = env.get(SERVICE_PORT_ENV, 0)
+        if shards is None:
+            shards = env.get(SHARDS_ENV, 1)
         if retry_attempts is None:
             retry_attempts = env.get(RETRY_ATTEMPTS_ENV, 5)
         if retry_backoff_s is None:
@@ -146,6 +153,7 @@ class Settings:
                                         minimum=0, maximum=65535),
             service_secret=(service_secret
                             or env.get(SERVICE_SECRET_ENV) or None),
+            shards=cls._parse_int(shards, SHARDS_ENV, minimum=1),
             retry_attempts=cls._parse_int(retry_attempts,
                                           RETRY_ATTEMPTS_ENV, minimum=1),
             retry_backoff_s=cls._parse_seconds(retry_backoff_s,

@@ -18,6 +18,8 @@ inspects a kernel's translation without writing code:
     python -m repro serve --port 0             # same smoke over TCP loopback
     python -m repro loadgen                    # service scaling/dedup bench
     python -m repro netchaos -n 20 --seed 2008 # network-fault chaos campaign
+    python -m repro serve --shards 3           # supervised shard cluster smoke
+    python -m repro clusterchaos --seed 2008   # shard-fault chaos campaign
 """
 
 from __future__ import annotations
@@ -208,6 +210,73 @@ def cmd_serve_net(host: str, port: int, workers: int,
     return "\n".join(lines), ok
 
 
+def cmd_serve_cluster(host: str, shards: int, sessions: int,
+                      secret: Optional[str] = None) -> tuple[str, bool]:
+    """The ``serve`` smoke as a sharded cluster: boot a supervised
+    N-shard fleet, drive the multi-session translate corpus through
+    failover :class:`~repro.service.cluster.ClusterClient` connections
+    (digest routing, shard-moved redirects and the shard map all
+    exercised on real sockets), kill one shard mid-workload to prove
+    supervised failover, and stop.  Returns the printable summary and
+    whether everything was served, the fleet healed, and zero shard
+    processes were orphaned.
+    """
+    from repro.service.cluster import (
+        ClusterClient,
+        ClusterConfig,
+        ShardSupervisor,
+    )
+    from repro.service.loadgen import request_corpus
+    from repro.service.server import ServiceConfig
+
+    corpus = request_corpus()
+    served = 0
+    failovers = 0
+    moved = 0
+    supervisor = ShardSupervisor(ClusterConfig(
+        shards=shards, host=host, auth_secret=secret,
+        service=ServiceConfig(workers=1))).start()
+    try:
+        seed_host, seed_port = supervisor.seed_address()
+        killed = False
+        for i in range(sessions):
+            with ClusterClient(seed_host, seed_port,
+                               session=f"session-{i}",
+                               secret=secret).connect() as client:
+                for index, item in enumerate(corpus):
+                    if (not killed and shards > 1
+                            and i == sessions - 1
+                            and index == len(corpus) // 2):
+                        # Mid-workload SIGKILL: the rest of this
+                        # session must ride the failover path.
+                        supervisor.kill_shard(0)
+                        killed = True
+                    if client.translate(*item,
+                                        deadline_s=600.0) is not None:
+                        served += 1
+                failovers += client.stats.failovers
+                moved += client.stats.moved
+        healed = supervisor.wait_converged(90.0)
+        final_map = supervisor.map
+    finally:
+        supervisor.stop()
+    orphans = supervisor.orphan_pids()
+    expected = sessions * len(corpus)
+    lines = [
+        f"cluster: {shards} shard(s) on {host}, {sessions} sessions x "
+        f"{len(corpus)} translate requests through failover clients",
+        f"  served {served}/{expected}  failovers {failovers}  "
+        f"shard-moved redirects {moved}",
+        f"  shard 0 SIGKILLed mid-workload: "
+        f"{'yes' if killed else 'no (single shard)'}  "
+        f"healed: {'yes' if healed else 'NO'} "
+        f"(map v{final_map.version})",
+        f"  orphaned shard processes: {len(orphans)}",
+    ]
+    ok = served == expected and healed and not orphans
+    return "\n".join(lines), ok
+
+
 def cmd_kernels() -> str:
     from repro.workloads.suite import all_benchmarks
     rows = []
@@ -308,6 +377,11 @@ def main(argv: Optional[list[str]] = None) -> int:
                        help="shared frame-auth secret (HMAC); required "
                             "for any non-loopback --host (default: "
                             "REPRO_SERVICE_SECRET)")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="boot a supervised N-shard cluster and "
+                            "drive the workload through failover "
+                            "clients, with a mid-workload shard kill "
+                            "(default: REPRO_SHARDS or 1)")
     serve.add_argument("--trace", default=None, metavar="PATH",
                        help="also write a JSONL span trace to PATH")
     loadgen = sub.add_parser("loadgen",
@@ -317,6 +391,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     loadgen.add_argument("--workers", "-w", default=None,
                          help="comma-separated worker counts to compare "
                               "(default 1,2)")
+    loadgen.add_argument("--shards", default=None,
+                         help="comma-separated shard counts for the "
+                              "cluster throughput series + failover "
+                              "probe (default 1,2,4; 0 disables)")
     loadgen.add_argument("--clients", type=int, default=None,
                          help="client threads (default 3)")
     loadgen.add_argument("--runs", type=int, default=None,
@@ -342,6 +420,28 @@ def main(argv: Optional[list[str]] = None) -> int:
                                "incident log and fault sentinels)")
     netchaos.add_argument("--trace", default=None, metavar="PATH",
                           help="also write a JSONL span trace to PATH")
+    cchaos = sub.add_parser("clusterchaos",
+                            help="seeded shard-fault campaign against "
+                                 "the sharded cluster")
+    cchaos.add_argument("--faults", "-n", type=int, default=8,
+                        help="minimum shard faults to inject "
+                             "(default 8)")
+    cchaos.add_argument("--seed", type=int, default=2008,
+                        help="campaign RNG seed (default 2008)")
+    cchaos.add_argument("--shards", type=int, default=3,
+                        help="shard processes in the attacked fleet "
+                             "(default 3)")
+    cchaos.add_argument("--figure", default="fig2",
+                        help="figure rendered through the cluster "
+                             "while a shard is SIGKILLed mid-sweep "
+                             "(default fig2)")
+    cchaos.add_argument("--workdir", default=None,
+                        help="campaign scratch directory (default: a "
+                             "fresh temp dir; holds the JSONL "
+                             "incident log, fault sentinels and the "
+                             "live chaos spec file)")
+    cchaos.add_argument("--trace", default=None, metavar="PATH",
+                        help="also write a JSONL span trace to PATH")
     stats = sub.add_parser("stats",
                            help="summarise a JSONL trace/metrics dump")
     stats.add_argument("path", nargs="?", default=None,
@@ -393,6 +493,8 @@ def main(argv: Optional[list[str]] = None) -> int:
               f"(scaling, dedup, identity, saturation)")
         print(f"  {'netchaos'.ljust(width)}  network-fault campaign "
               f"(TCP transport)")
+        print(f"  {'clusterchaos'.ljust(width)}  shard-fault campaign "
+              f"(sharded cluster)")
         return 0
     if args.command == "kernels":
         print(cmd_kernels())
@@ -479,17 +581,23 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
     if args.command == "serve":
         from repro.errors import TransportError
+        shards = (args.shards if args.shards is not None
+                  else int(os.environ.get("REPRO_SHARDS", "1")))
 
         def _serve() -> tuple[str, bool]:
-            if args.port is not None:
-                try:
+            try:
+                if shards > 1:
+                    return cmd_serve_cluster(args.host, shards,
+                                             args.sessions,
+                                             secret=args.secret)
+                if args.port is not None:
                     return cmd_serve_net(args.host, args.port,
                                          args.workers, args.sessions,
                                          secret=args.secret)
-                except TransportError as exc:
-                    # A refused bind (non-loopback without --secret) is
-                    # a configuration error, not a crash.
-                    return f"error: [{exc.kind}] {exc}", False
+            except TransportError as exc:
+                # A refused bind (non-loopback without --secret) is
+                # a configuration error, not a crash.
+                return f"error: [{exc.kind}] {exc}", False
             return cmd_serve(args.workers, args.sessions)
         if args.trace:
             from repro import obs
@@ -545,11 +653,46 @@ def main(argv: Optional[list[str]] = None) -> int:
         if args.trace:
             print(f"trace written to {args.trace}", file=sys.stderr)
         return 0 if report.ok else 1
+    if args.command == "clusterchaos":
+        from repro.resilience.clusterchaos import (
+            ClusterChaosConfig,
+            format_clusterchaos,
+            run_clusterchaos,
+        )
+        config = ClusterChaosConfig(
+            faults=args.faults, seed=args.seed, shards=args.shards,
+            figure=args.figure, workdir=args.workdir)
+        if args.trace:
+            from repro import obs
+            obs.start_trace(args.trace)
+        try:
+            if args.trace:
+                from repro import obs
+                with obs.span("clusterchaos", component="cli",
+                              faults=args.faults, seed=args.seed,
+                              shards=args.shards):
+                    report = run_clusterchaos(
+                        config, progress=lambda msg: print(
+                            f"... {msg}", file=sys.stderr))
+                obs.write_metrics_record()
+            else:
+                report = run_clusterchaos(
+                    config, progress=lambda msg: print(
+                        f"... {msg}", file=sys.stderr))
+        finally:
+            if args.trace:
+                from repro import obs
+                obs.stop_trace()
+        print(format_clusterchaos(report))
+        if args.trace:
+            print(f"trace written to {args.trace}", file=sys.stderr)
+        return 0 if report.ok else 1
     if args.command == "loadgen":
         from repro.service.loadgen import (
             DEFAULT_CLIENTS,
             DEFAULT_OUTPUT,
             DEFAULT_RUN_KERNELS,
+            DEFAULT_SHARDS,
             DEFAULT_WORKERS,
             format_loadgen,
             run_loadgen,
@@ -557,10 +700,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         )
         workers = (tuple(int(w) for w in args.workers.split(","))
                    if args.workers else DEFAULT_WORKERS)
+        if args.shards is None:
+            shard_counts = DEFAULT_SHARDS
+        else:
+            shard_counts = tuple(
+                int(s) for s in args.shards.split(",") if int(s) > 0)
         report = run_loadgen(
             workers=workers,
             clients=args.clients or DEFAULT_CLIENTS,
             run_kernel_count=args.runs or DEFAULT_RUN_KERNELS,
+            shard_counts=shard_counts,
             progress=lambda msg: print(f"... {msg}", file=sys.stderr))
         path = write_report(report, args.output or DEFAULT_OUTPUT)
         print(format_loadgen(report))

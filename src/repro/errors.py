@@ -333,6 +333,34 @@ class ProtocolError(TransportError):
         self.reason = reason
 
 
+class ShardMovedError(ServiceError):
+    """The contacted shard does not own the request's digest.
+
+    A cluster shard checks every keyed request against its copy of the
+    shard map (rendezvous hashing over live shards) and redirects work
+    it does not own instead of serving it — otherwise two shards could
+    translate the same digest and the exactly-once accounting would
+    lie.  The error carries the owner's coordinates and the redirecting
+    shard's current map, so one round trip both redirects the request
+    and refreshes a stale client.  Not a transport failure: the
+    connection stays healthy and the breaker records a success.
+    """
+
+    kind = "shard-moved"
+
+    def __init__(self, message: str, shard_id: Optional[int] = None,
+                 owner_id: Optional[int] = None,
+                 owner_host: Optional[str] = None,
+                 owner_port: Optional[int] = None,
+                 shard_map: Optional[dict] = None, **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.shard_id = shard_id
+        self.owner_id = owner_id
+        self.owner_host = owner_host
+        self.owner_port = owner_port
+        self.shard_map = shard_map
+
+
 class CircuitOpenError(TransportError):
     """The client's circuit breaker is open; the call failed fast.
 
@@ -454,6 +482,7 @@ __all__ = [
     "ServiceOverload",
     "SessionBudgetExceeded",
     "SettingsError",
+    "ShardMovedError",
     "StreamLimitError",
     "TranslationBudgetExceeded",
     "TranslationError",

@@ -21,6 +21,13 @@ pool restarts through sentinel files: a fault fires only if its
 ``O_CREAT|O_EXCL`` sentinel creation wins, so a retried task is not
 re-killed and a rebuilt store is not re-failed.  When nothing is armed
 the hot-path checks are a single falsy test.
+
+Long-lived processes (cluster shards) cannot see faults armed in the
+parent *after* they started — the environment is a spawn-time
+snapshot.  For them ``REPRO_CHAOS_SPEC_FILE`` names a spec *file* set
+up before the shards boot: :func:`arm`/:func:`disarm` rewrite it
+atomically and every armed check re-reads it, so the cluster chaos
+campaign can arm shard faults against already-running shard processes.
 """
 
 from __future__ import annotations
@@ -33,6 +40,9 @@ from dataclasses import dataclass
 from typing import Optional
 
 CHAOS_SPEC_ENV = "REPRO_CHAOS_SPEC"
+#: Path of a live spec file shared with already-running processes
+#: (cluster shards re-read it on every check; see module docstring).
+CHAOS_SPEC_FILE_ENV = "REPRO_CHAOS_SPEC_FILE"
 
 
 class InfraFaultMode(enum.Enum):
@@ -51,6 +61,12 @@ class InfraFaultMode(enum.Enum):
     NET_TRUNCATE = "net-truncate"      # send a prefix, then close
     NET_STALL = "net-stall"            # hold the response past deadline
     NET_DROP = "net-drop"              # never send the response
+    # Cluster shard faults (PR 8): attack whole shard processes and the
+    # shard map the failover client routes by.
+    SHARD_KILL = "shard-kill"          # shard SIGKILLs itself mid-request
+    SHARD_HANG = "shard-hang"          # shard stalls every response
+    SHARD_SLOW_START = "shard-slow-start"  # restarted shard boots slowly
+    MAP_STALE = "map-stale"            # client drops one shard-map update
 
 
 #: The corruption modes :func:`corrupt_entry` can apply in place.
@@ -65,6 +81,12 @@ NET_FAULT_MODES = (InfraFaultMode.NET_RESET,
                    InfraFaultMode.NET_TRUNCATE,
                    InfraFaultMode.NET_STALL,
                    InfraFaultMode.NET_DROP)
+
+#: The shard/cluster faults the cluster chaos campaign injects.
+SHARD_FAULT_MODES = (InfraFaultMode.SHARD_KILL,
+                     InfraFaultMode.SHARD_HANG,
+                     InfraFaultMode.SHARD_SLOW_START,
+                     InfraFaultMode.MAP_STALE)
 
 
 @dataclass(frozen=True)
@@ -81,13 +103,16 @@ class InfraFaultSpec:
     token: str
     task_index: Optional[int] = None
     io_op: Optional[str] = None
-    #: Stall duration for ``NET_STALL`` (seconds).
+    #: Stall duration for ``NET_STALL`` / ``SHARD_HANG``, boot delay
+    #: for ``SHARD_SLOW_START`` (seconds).
     delay_s: Optional[float] = None
+    #: Targets shard faults at one shard; None matches any shard.
+    shard_id: Optional[int] = None
 
     def to_json(self) -> dict:
         return {"mode": self.mode.value, "token": self.token,
                 "task_index": self.task_index, "io_op": self.io_op,
-                "delay_s": self.delay_s}
+                "delay_s": self.delay_s, "shard_id": self.shard_id}
 
     @staticmethod
     def from_json(data: dict) -> "InfraFaultSpec":
@@ -95,26 +120,61 @@ class InfraFaultSpec:
                               token=data["token"],
                               task_index=data.get("task_index"),
                               io_op=data.get("io_op"),
-                              delay_s=data.get("delay_s"))
+                              delay_s=data.get("delay_s"),
+                              shard_id=data.get("shard_id"))
 
 
 # -- arming (environment-carried, so workers inherit it) ----------------------
 
 def arm(specs: list[InfraFaultSpec], state_dir: str) -> None:
-    """Arm *specs*; sentinels for fire-once live under *state_dir*."""
+    """Arm *specs*; sentinels for fire-once live under *state_dir*.
+
+    When ``REPRO_CHAOS_SPEC_FILE`` is set (the cluster campaign sets it
+    before booting shards), the spec is also written to that file so
+    already-running shard processes — which snapshotted their
+    environment at spawn — see the new arming on their next check.
+    """
     os.makedirs(state_dir, exist_ok=True)
-    os.environ[CHAOS_SPEC_ENV] = json.dumps({
+    payload = json.dumps({
         "state_dir": state_dir,
         "faults": [s.to_json() for s in specs],
     })
+    os.environ[CHAOS_SPEC_ENV] = payload
+    spec_file = os.environ.get(CHAOS_SPEC_FILE_ENV)
+    if spec_file:
+        _write_spec_file(spec_file, payload)
 
 
 def disarm() -> None:
     os.environ.pop(CHAOS_SPEC_ENV, None)
+    spec_file = os.environ.get(CHAOS_SPEC_FILE_ENV)
+    if spec_file:
+        _write_spec_file(spec_file, "")
+
+
+def _write_spec_file(path: str, payload: str) -> None:
+    """Atomically replace the live spec file (shards read concurrently)."""
+    tmp = f"{path}.next.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)
 
 
 def _armed() -> tuple[Optional[str], list[InfraFaultSpec]]:
-    raw = os.environ.get(CHAOS_SPEC_ENV)
+    # The live spec file, when configured, is authoritative: a shard
+    # spawned while some earlier fault was armed carries that stale
+    # spec in its environment snapshot forever, so the env is only a
+    # fallback (for short-lived workers with no file channel).
+    raw = None
+    spec_file = os.environ.get(CHAOS_SPEC_FILE_ENV)
+    if spec_file:
+        try:
+            with open(spec_file, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except OSError:
+            raw = None
+    if not raw:
+        raw = os.environ.get(CHAOS_SPEC_ENV)
     if not raw:
         return None, []
     try:
@@ -182,6 +242,31 @@ def check_io(op: str, path: str) -> None:
                 and _claim(state_dir, spec.token)):
             raise OSError(f"injected I/O fault {spec.token} "
                           f"({op} {os.path.basename(path)})")
+
+
+def claim_shard_fault(mode: InfraFaultMode,
+                      shard_id: Optional[int] = None,
+                      ) -> Optional[InfraFaultSpec]:
+    """Claim the first still-unfired armed shard fault of *mode*.
+
+    Shard processes call this from their dispatch/boot paths with their
+    own ``shard_id``; specs targeted at a different shard are skipped,
+    untargeted specs match anyone.  ``MAP_STALE`` is claimed
+    client-side (``shard_id=None``).  Returns the claimed spec (its
+    fire-once sentinel now exists) or None.
+    """
+    state_dir, specs = _armed()
+    if state_dir is None:
+        return None
+    for spec in specs:
+        if spec.mode is not mode:
+            continue
+        if (spec.shard_id is not None and shard_id is not None
+                and spec.shard_id != shard_id):
+            continue
+        if _claim(state_dir, spec.token):
+            return spec
+    return None
 
 
 def claim_net_fault() -> Optional[InfraFaultSpec]:

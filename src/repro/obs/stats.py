@@ -160,6 +160,23 @@ def format_trace_stats(records: list[dict[str, Any]],
     dump = metrics_dump(records)
     if dump:
         counters = dump.get("counters", {})
+        # Surface the service tier first: client retry/reconnect
+        # behaviour (net.client.*), the admission ladder's decisions
+        # (service.admission.*) and the sharded cluster's health and
+        # failover counters (cluster.*) are the failure-handling story
+        # of a trace, and deserve their own grouped table ahead of the
+        # full alphabetical dump below.
+        tier = [("client", "net.client."),
+                ("admission", "service.admission."),
+                ("cluster", "cluster.")]
+        tier_rows = [[family, name, f"{counters[name]:,}"]
+                     for family, prefix in tier
+                     for name in sorted(counters)
+                     if name.startswith(prefix)]
+        if tier_rows:
+            sections.append(_table(
+                ["family", "counter", "value"], tier_rows,
+                title="Service tier: client / admission / cluster"))
         if counters:
             rows = [[name, f"{counters[name]:,}"]
                     for name in sorted(counters)]

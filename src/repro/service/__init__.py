@@ -27,6 +27,15 @@ package realises that posture at the process level:
 * :mod:`~repro.service.admission` — the degradation ladder: per-session
   token buckets, queue-depth watermarks that shed low-priority and
   uncached work first, and ``retry_after`` hints on every rejection.
+* :mod:`~repro.service.cluster` — the self-healing sharded tier
+  (``python -m repro serve --shards N``): a
+  :class:`~repro.service.cluster.ShardSupervisor` runs N single-worker
+  shard processes, each owning a rendezvous-hashed slice of transcache
+  digest space, health-checks them over the wire and restarts crashed
+  or hung shards with bounded backoff; a
+  :class:`~repro.service.cluster.ClusterClient` learns the shard map,
+  routes by digest, follows ``shard-moved`` redirects and fails over
+  with idempotent resubmission (exactly-once across shard death).
 
 The service composes the existing layers rather than bypassing them:
 results come from the same :func:`repro.vm.translator.translate_loop`
@@ -54,6 +63,16 @@ from repro.service.admission import (
     TokenBucket,
 )
 from repro.service.client import ClientStats, LoopClient, RetryPolicy
+from repro.service.cluster import (
+    ClusterClient,
+    ClusterClientStats,
+    ClusterConfig,
+    ShardInfo,
+    ShardMap,
+    ShardRouter,
+    ShardSupervisor,
+    rendezvous_score,
+)
 from repro.service.net import NetConfig, NetServer
 from repro.service.server import (
     LoopService,
@@ -64,9 +83,11 @@ from repro.service.server import (
 
 __all__ = [
     "AdmissionController", "AdmissionPolicy", "AdmissionRejected",
-    "CircuitOpenError", "ClientStats", "LoopClient", "LoopService",
+    "CircuitOpenError", "ClientStats", "ClusterClient",
+    "ClusterClientStats", "ClusterConfig", "LoopClient", "LoopService",
     "NetConfig", "NetServer", "ProtocolError", "RetryPolicy",
     "ServiceClosed", "ServiceConfig", "ServiceError", "ServiceOverload",
     "ServiceSession", "ServiceStats", "SessionBudgetExceeded",
-    "TokenBucket", "TransportError",
+    "ShardInfo", "ShardMap", "ShardRouter", "ShardSupervisor",
+    "TokenBucket", "TransportError", "rendezvous_score",
 ]

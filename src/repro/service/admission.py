@@ -54,6 +54,14 @@ class AdmissionPolicy:
     #: Bounds on the retry hints handed to rejected clients.
     retry_after_min_s: float = 0.002
     retry_after_max_s: float = 0.5
+    #: Fraction of ``session_burst`` a *new* bucket starts with.  A
+    #: freshly (re)started shard has lost its per-session bucket state;
+    #: booting buckets full would hand every returning session a whole
+    #: burst at once — a thundering-herd admit straight into an empty
+    #: queue.  A supervisor restarts shards with a conservative
+    #: fraction (< 1.0) so returning sessions are metered by the refill
+    #: rate until they have re-earned their burst.
+    cold_start_fraction: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -72,13 +80,24 @@ class TokenBucket:
     """A monotonic-clock token bucket (thread-safe)."""
 
     def __init__(self, rate: float, burst: float,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 initial_fraction: float = 1.0) -> None:
         self.rate = max(1e-9, rate)
         self.burst = max(1.0, burst)
         self._clock = clock
-        self._tokens = self.burst
+        self._tokens = self.burst * min(1.0, max(0.0, initial_fraction))
         self._stamp = clock()
         self._lock = threading.Lock()
+
+    @property
+    def tokens(self) -> float:
+        """Current fill (refilled to now); for tests and snapshots."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate)
+            self._stamp = now
+            return self._tokens
 
     def try_take(self, amount: float = 1.0) -> float:
         """Take *amount* tokens; returns 0.0 on success, else the
@@ -138,7 +157,8 @@ class AdmissionController:
             if bucket is None:
                 bucket = self._buckets[session] = TokenBucket(
                     self.policy.session_rate, self.policy.session_burst,
-                    self._clock)
+                    self._clock,
+                    initial_fraction=self.policy.cold_start_fraction)
             return bucket
 
     def _retry_after(self, qsize: int, floor: float = 0.0) -> float:

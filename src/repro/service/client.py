@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import random
 import socket
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -45,6 +46,7 @@ from repro.errors import (
     AdmissionRejected,
     CircuitOpenError,
     ProtocolError,
+    ServiceClosed,
     TransportError,
 )
 from repro.resilience.incidents import record_incident
@@ -144,8 +146,13 @@ class LoopClient:
         self.deadline_s = deadline_s
         self.retry = retry
         self.stats = ClientStats()
+        #: The server's hello response body (session, priority, and —
+        #: on a cluster shard — the shard id and shard map).
+        self.server_info: dict = {}
         self._rng = random.Random(seed)
         self._sock: Optional[socket.socket] = None
+        self._sock_lock = threading.Lock()
+        self._closed = False
         self._req_id = 0
         self._breaker = CircuitBreaker(retry.breaker_threshold,
                                        retry.breaker_cooldown_s)
@@ -186,7 +193,33 @@ class LoopClient:
                           deadline_s=deadline_s,
                           attempt_timeout_s=attempt_timeout_s)
 
+    def call(self, op: str, body: Any = None, *,
+             idempotency_key: Optional[str] = None,
+             deadline_s: Optional[float] = None,
+             attempt_timeout_s: Optional[float] = None,
+             extra: Optional[dict] = None) -> Any:
+        """Issue an arbitrary wire op with the full retry machinery.
+
+        The cluster layer builds on this: the supervisor pushes shard
+        maps (``map-update``) and scrapes shard counters (``stats``),
+        and the failover client threads routing hints (*extra* envelope
+        keys) through work requests.
+        """
+        return self._call(op, body, idempotency_key=idempotency_key,
+                          deadline_s=deadline_s,
+                          attempt_timeout_s=attempt_timeout_s,
+                          extra=extra)
+
     def close(self) -> ClientStats:
+        """Close the client; idempotent and safe against in-flight calls.
+
+        The socket swap happens under a lock so a concurrent retry (or
+        a second ``close``) can never double-close the descriptor, and
+        an in-flight attempt interrupted by the close raises
+        :class:`~repro.errors.ServiceClosed` instead of charging the
+        circuit breaker with a spurious transport failure.
+        """
+        self._closed = True
         self._disconnect()
         return self.stats
 
@@ -198,29 +231,17 @@ class LoopClient:
 
     def _idempotency_key(self, loop, accelerator, options
                          ) -> Optional[str]:
-        """The transcache digest this request resolves to server-side.
-
-        Mirrors the session defaulting (``None`` accelerator/options
-        mean the session's own), so a resubmission after an unknown
-        outcome dedups against the first attempt's translation.
-        """
-        try:
-            from repro.api import _default_accelerator
-            from repro.vm.translator import (TranslationOptions,
-                                             translation_key)
-            config = (_default_accelerator() if accelerator is None
-                      else accelerator)
-            opts = TranslationOptions() if options is None else options
-            return translation_key(loop, config, opts)
-        except Exception:  # noqa: BLE001 — unkeyable request: no key
-            return None
+        return idempotency_key_for(loop, accelerator, options)
 
     # -- transport ---------------------------------------------------------
 
     def _call(self, op: str, body: Any,
               idempotency_key: Optional[str] = None,
               deadline_s: Optional[float] = None,
-              attempt_timeout_s: Optional[float] = None) -> Any:
+              attempt_timeout_s: Optional[float] = None,
+              extra: Optional[dict] = None) -> Any:
+        if self._closed:
+            raise ServiceClosed(f"client closed; cannot issue {op}")
         policy = self.retry
         budget = self.deadline_s if deadline_s is None else deadline_s
         attempt_cap = (policy.attempt_timeout_s
@@ -244,8 +265,15 @@ class LoopClient:
             try:
                 response = self._attempt(op, body, idempotency_key,
                                          min(remaining, attempt_cap),
-                                         remaining)
+                                         remaining, extra)
             except (TransportError, OSError) as exc:
+                if self._closed:
+                    # A concurrent close() tore down the socket under
+                    # this attempt: that is a caller decision, not a
+                    # transport failure — no breaker charge, no retry.
+                    raise ServiceClosed(
+                        f"client closed during an in-flight {op} "
+                        f"attempt") from exc
                 attempt += 1
                 last_error = exc
                 self._transport_failure(op, attempt, exc)
@@ -286,20 +314,26 @@ class LoopClient:
 
     def _attempt(self, op: str, body: Any,
                  idempotency_key: Optional[str],
-                 attempt_timeout: float, remaining: float) -> dict:
+                 attempt_timeout: float, remaining: float,
+                 extra: Optional[dict] = None) -> dict:
         """One connect/send/receive cycle; returns the response dict."""
         self._ensure_connected(min(remaining, 10.0))
         self._req_id += 1
         req_id = self._req_id
         message = wire.request(op, req_id, body, session=self.session,
                                idempotency_key=idempotency_key,
-                               deadline_s=round(remaining, 3))
+                               deadline_s=round(remaining, 3),
+                               **(extra or {}))
         sock = self._sock
+        if sock is None:
+            raise TransportError(f"connection lost before sending {op}",
+                                 op=op)
         sock.settimeout(max(0.05, attempt_timeout))
         try:
             sock.sendall(wire.encode_frame(message, key=self._key))
-            response = wire.read_frame_blocking(self._read_exactly,
-                                                self._key)
+            response = wire.read_frame_blocking(
+                lambda count: self._read_exactly(sock, count),
+                self._key)
         except socket.timeout:
             raise TransportError(
                 f"no {op} response within {attempt_timeout:.2f}s",
@@ -342,6 +376,8 @@ class LoopClient:
     def _ensure_connected(self, connect_timeout: float) -> None:
         if self._sock is not None:
             return
+        if self._closed:
+            raise ServiceClosed("client closed; refusing to reconnect")
         try:
             sock = socket.create_connection(
                 (self.host, self.port),
@@ -364,8 +400,9 @@ class LoopClient:
         sock.settimeout(max(0.05, connect_timeout))
         try:
             sock.sendall(wire.encode_frame(hello, key=self._key))
-            response = wire.read_frame_blocking(self._read_exactly,
-                                                self._key)
+            response = wire.read_frame_blocking(
+                lambda count: self._read_exactly(sock, count),
+                self._key)
         except socket.timeout:
             self._disconnect()
             raise TransportError("hello handshake timed out",
@@ -376,13 +413,18 @@ class LoopClient:
         if response is None or not response.get("ok"):
             self._disconnect()
             raise TransportError("hello handshake rejected", op="hello")
+        try:
+            self.server_info = wire.unpack_body(
+                response.get("body")) or {}
+        except ProtocolError:
+            self.server_info = {}
 
-    def _read_exactly(self, count: int) -> bytes:
+    def _read_exactly(self, sock: socket.socket, count: int) -> bytes:
         """Exactly *count* bytes; ``b""`` on clean EOF before any byte."""
         chunks: list[bytes] = []
         got = 0
         while got < count:
-            chunk = self._sock.recv(count - got)
+            chunk = sock.recv(count - got)
             if not chunk:
                 if not chunks:
                     return b""
@@ -394,9 +436,33 @@ class LoopClient:
         return b"".join(chunks)
 
     def _disconnect(self) -> None:
-        sock, self._sock = self._sock, None
+        with self._sock_lock:
+            sock, self._sock = self._sock, None
         if sock is not None:
             try:
                 sock.close()
             except OSError:
                 pass
+
+
+def idempotency_key_for(loop, accelerator=None,
+                        options=None) -> Optional[str]:
+    """The transcache digest a translate/run_loop request resolves to
+    server-side.
+
+    Mirrors the session defaulting (``None`` accelerator/options mean
+    the session's own), so a resubmission after an unknown outcome
+    dedups against the first attempt's translation — and so the
+    cluster client can route a request to the shard that owns its
+    digest before ever putting it on the wire.
+    """
+    try:
+        from repro.api import _default_accelerator
+        from repro.vm.translator import (TranslationOptions,
+                                         translation_key)
+        config = (_default_accelerator() if accelerator is None
+                  else accelerator)
+        opts = TranslationOptions() if options is None else options
+        return translation_key(loop, config, opts)
+    except Exception:  # noqa: BLE001 — unkeyable request: no key
+        return None

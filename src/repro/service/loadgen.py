@@ -45,6 +45,8 @@ DEFAULT_OUTPUT = os.path.join("benchmarks", "results",
                               "BENCH_service.json")
 #: Worker counts the scaling comparison runs, in order.
 DEFAULT_WORKERS = (1, 2)
+#: Shard counts the cluster throughput series runs, in order.
+DEFAULT_SHARDS = (1, 2, 4)
 DEFAULT_CLIENTS = 3
 #: Measured-execution kernels per client (the heavy half of the mix).
 DEFAULT_RUN_KERNELS = 6
@@ -132,6 +134,29 @@ class LoadgenRun:
 
 
 @dataclass
+class ClusterRun:
+    """One shard-count measurement against a supervised cluster."""
+
+    shards: int
+    elapsed_s: float
+    requests: int
+    completed: int
+    #: Cluster-client routing evidence summed across all clients.
+    failovers: int = 0
+    moved: int = 0
+    map_updates: int = 0
+    converged: bool = False
+    orphans: int = 0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.elapsed_s if self.elapsed_s else 0.0
+
+
+@dataclass
 class LoadgenReport:
     clients: int
     requests_per_client: int
@@ -141,6 +166,10 @@ class LoadgenReport:
     #: when this is > 1.
     cpus: int = 1
     runs: list[LoadgenRun] = field(default_factory=list)
+    #: Sharded-cluster throughput series (``shards`` counts in order).
+    cluster_runs: list[ClusterRun] = field(default_factory=list)
+    #: Tail-latency evidence from :func:`cluster_failover_probe`.
+    failover: dict = field(default_factory=dict)
     figure_identical: bool = False
     check_figure: str = CHECK_FIGURE
     #: Degraded-but-progressing evidence from :func:`saturation_probe`.
@@ -157,6 +186,9 @@ class LoadgenReport:
         return (self.figure_identical and self.dedup_exact
                 and all(r.drained and r.completed == r.requests
                         for r in self.runs)
+                and all(r.completed == r.requests and r.converged
+                        and r.orphans == 0 for r in self.cluster_runs)
+                and self.failover.get("ok", True)
                 and self.saturation.get("ok", True))
 
 
@@ -434,10 +466,140 @@ def saturation_probe(drivers: int = 4, queue_depth: int = 8) -> dict:
     return evidence
 
 
+def _cluster_retry():
+    """Per-shard retry policy for benchmark cluster clients: the
+    cluster layer owns failover, so the per-connection breaker must
+    never latch open."""
+    from repro.service.client import RetryPolicy
+    return RetryPolicy(attempts=2, base_delay_s=0.02, max_delay_s=0.2,
+                       attempt_timeout_s=60.0, breaker_threshold=1 << 30)
+
+
+def _one_cluster_run(shards: int, corpus: list[tuple],
+                     clients: int) -> ClusterRun:
+    """Throughput of the translate corpus through a ``shards``-wide
+    supervised cluster, one :class:`ClusterClient` per client thread.
+
+    Requests route by transcache digest, so the corpus spreads across
+    the fleet; on a single-CPU host the series measures routing and
+    wire overhead, not parallel speedup (same caveat as workers).
+    """
+    from repro.service.cluster import ClusterClient, ClusterConfig, \
+        ShardSupervisor
+    perf.clear_caches()
+    supervisor = ShardSupervisor(ClusterConfig(
+        shards=shards, service=ServiceConfig(workers=1))).start()
+    tally = _Tally()
+    completed = [0] * clients
+    stats_totals = {"failovers": 0, "moved": 0, "map_updates": 0}
+    lock = threading.Lock()
+
+    def drive(index: int) -> None:
+        host, port = supervisor.seed_address()
+        with ClusterClient(host, port, session=f"bench-{index}",
+                           shard_retry=_cluster_retry()
+                           ).connect() as client:
+            for loop, config, options in corpus:
+                started = time.perf_counter()
+                client.translate(loop, config, options, deadline_s=120.0)
+                tally.finished(started)
+                completed[index] += 1
+            stats = client.stats
+            with lock:
+                for name in stats_totals:
+                    stats_totals[name] += getattr(stats, name)
+
+    try:
+        started = time.perf_counter()
+        threads = [threading.Thread(target=drive, args=(i,))
+                   for i in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        converged = supervisor.wait_converged(30.0)
+    finally:
+        supervisor.stop()
+    return ClusterRun(
+        shards=shards,
+        elapsed_s=elapsed,
+        requests=clients * len(corpus),
+        completed=sum(completed),
+        failovers=stats_totals["failovers"],
+        moved=stats_totals["moved"],
+        map_updates=stats_totals["map_updates"],
+        converged=converged,
+        orphans=len(supervisor.orphan_pids()),
+        p50_ms=round(percentile(tally.latencies_ms, 0.50), 3),
+        p95_ms=round(percentile(tally.latencies_ms, 0.95), 3),
+        p99_ms=round(percentile(tally.latencies_ms, 0.99), 3),
+    )
+
+
+def cluster_failover_probe(shards: int = 2,
+                           requests: int = 120) -> dict:
+    """Tail latency while a shard dies under the client.
+
+    One cluster client streams translates; mid-stream a shard is
+    SIGKILLed.  The requests in the kill window pay the failover cost
+    (suspect marking + re-route + idempotent resubmission) and their
+    p99 is reported next to the steady-state p99 — the price of
+    exactly-once through a shard death, in milliseconds.  Every
+    request must still complete and the fleet must heal.
+    """
+    from repro.service.cluster import ClusterClient, ClusterConfig, \
+        ShardSupervisor
+    perf.clear_caches()
+    corpus = request_corpus()
+    supervisor = ShardSupervisor(ClusterConfig(
+        shards=shards, service=ServiceConfig(workers=1))).start()
+    kill_at = requests // 2
+    window = max(10, requests // 5)
+    steady: list[float] = []
+    during: list[float] = []
+    served = 0
+    evidence: dict = {"shards": shards, "requests": requests}
+    try:
+        host, port = supervisor.seed_address()
+        with ClusterClient(host, port, session="bench-failover",
+                           shard_retry=_cluster_retry()
+                           ).connect() as client:
+            for index in range(requests):
+                if index == kill_at:
+                    evidence["killed_pid"] = supervisor.kill_shard(
+                        (shards - 1) if shards > 1 else 0)
+                loop, config, options = corpus[index % len(corpus)]
+                started = time.perf_counter()
+                client.translate(loop, config, options, deadline_s=120.0)
+                latency = (time.perf_counter() - started) * 1000.0
+                served += 1
+                if kill_at <= index < kill_at + window:
+                    during.append(latency)
+                else:
+                    steady.append(latency)
+            stats = client.stats
+        healed = supervisor.wait_converged(60.0)
+    finally:
+        supervisor.stop()
+    evidence.update({
+        "served": served,
+        "failovers": stats.failovers,
+        "p99_steady_ms": round(percentile(steady, 0.99), 3),
+        "p99_during_kill_ms": round(percentile(during, 0.99), 3),
+        "healed": healed,
+        "orphans": len(supervisor.orphan_pids()),
+        "ok": bool(served == requests and healed
+                   and not supervisor.orphan_pids()),
+    })
+    return evidence
+
+
 def run_loadgen(workers=DEFAULT_WORKERS, clients: int = DEFAULT_CLIENTS,
                 run_kernel_count: int = DEFAULT_RUN_KERNELS,
                 queue_depth: int = 64,
                 saturation: bool = True,
+                shard_counts=DEFAULT_SHARDS,
                 progress: Optional[Callable[[str], None]] = None
                 ) -> LoadgenReport:
     corpus = request_corpus()
@@ -454,6 +616,15 @@ def run_loadgen(workers=DEFAULT_WORKERS, clients: int = DEFAULT_CLIENTS,
             f"+ {len(heavy)} runs, workers={count}")
         report.runs.append(
             _one_run(count, corpus, heavy, clients, queue_depth))
+    for count in shard_counts or ():
+        say(f"loadgen: cluster series, shards={count}")
+        report.cluster_runs.append(
+            _one_cluster_run(count, corpus, clients))
+    if shard_counts:
+        probe_shards = max(2, min(shard_counts))
+        say(f"loadgen: failover probe (shard kill mid-stream, "
+            f"shards={probe_shards})")
+        report.failover = cluster_failover_probe(shards=probe_shards)
     say(f"loadgen: figure identity check over TCP "
         f"({report.check_figure})")
     report.figure_identical = _figure_via_service(report.check_figure)
@@ -475,6 +646,22 @@ def write_report(report: LoadgenReport, path: str = DEFAULT_OUTPUT) -> str:
         "check_figure": report.check_figure,
         "ok": report.ok,
         "saturation": report.saturation,
+        "failover": report.failover,
+        "cluster_runs": [{
+            "shards": r.shards,
+            "elapsed_s": round(r.elapsed_s, 4),
+            "throughput_rps": round(r.throughput_rps, 2),
+            "requests": r.requests,
+            "completed": r.completed,
+            "failovers": r.failovers,
+            "moved": r.moved,
+            "map_updates": r.map_updates,
+            "converged": r.converged,
+            "orphans": r.orphans,
+            "p50_ms": r.p50_ms,
+            "p95_ms": r.p95_ms,
+            "p99_ms": r.p99_ms,
+        } for r in report.cluster_runs],
         "runs": [{
             "workers": r.workers,
             "elapsed_s": round(r.elapsed_s, 4),
@@ -522,6 +709,31 @@ def format_loadgen(report: LoadgenReport) -> str:
               f"{report.unique_digests} unique digests, "
               f"{report.cpus} cpu(s)")
     lines = [table, ""]
+    if report.cluster_runs:
+        cluster_rows = [
+            (r.shards, r.requests, f"{r.elapsed_s:.2f}",
+             f"{r.throughput_rps:.1f}", f"{r.p50_ms:.0f}",
+             f"{r.p95_ms:.0f}", f"{r.p99_ms:.0f}", r.failovers,
+             r.moved, "yes" if r.converged else "NO", r.orphans)
+            for r in report.cluster_runs]
+        lines.append(format_table(
+            ("shards", "requests", "seconds", "req/s", "p50ms",
+             "p95ms", "p99ms", "failovers", "moved", "converged",
+             "orphans"), cluster_rows,
+            title="cluster series: digest-routed shards, "
+                  "supervised failover"))
+        lines.append("")
+    if report.failover:
+        fo = report.failover
+        lines.append(
+            f"failover probe ({fo.get('shards', '?')} shards, SIGKILL "
+            f"mid-stream): served {fo.get('served', 0)}/"
+            f"{fo.get('requests', 0)}, p99 steady "
+            f"{fo.get('p99_steady_ms', 0.0):.0f}ms vs during kill "
+            f"{fo.get('p99_during_kill_ms', 0.0):.0f}ms, failovers "
+            f"{fo.get('failovers', 0)}, healed="
+            f"{'yes' if fo.get('healed') else 'NO'}, orphans "
+            f"{fo.get('orphans', 0)}")
     lines.append(f"single-flight dedup exact: "
                  f"{'yes' if report.dedup_exact else 'NO'} "
                  f"(core runs == unique digests, zero exact fallbacks)")
@@ -537,8 +749,9 @@ def format_loadgen(report: LoadgenReport) -> str:
             f"{'yes' if sat.get('retried_ok') else 'NO'} after "
             f"{sat.get('admission_retries', 0)} hinted retries")
     if report.cpus <= 1:
-        lines.append("note: single-CPU host — worker processes cannot "
-                     "run concurrently, so the scaling series shows "
-                     "dispatch overhead only")
+        lines.append("note: single-CPU host — worker and shard "
+                     "processes cannot run concurrently, so the "
+                     "scaling series show dispatch/routing overhead "
+                     "only")
     lines.append(f"overall: {'OK' if report.ok else 'FAILED'}")
     return "\n".join(lines)

@@ -83,10 +83,20 @@ def _latency_bucket_ms(elapsed_ms: float) -> int:
 
 
 class NetServer:
-    """The loop service behind a length-framed, checksummed TCP port."""
+    """The loop service behind a length-framed, checksummed TCP port.
 
-    def __init__(self, config: NetConfig = NetConfig()) -> None:
+    An optional *router* (duck-typed; see
+    :class:`repro.service.cluster.ShardRouter`) makes the server one
+    shard of a cluster: it gets first look at every request (ownership
+    checks, shard-map updates, injected shard faults) and contributes
+    the shard id + map to ``hello`` responses, without this module
+    importing the cluster layer.
+    """
+
+    def __init__(self, config: NetConfig = NetConfig(),
+                 router=None) -> None:
         self.config = config
+        self.router = router
         self.service = LoopService(config.service)
         self._key = wire.frame_key(config.auth_secret)
         self.host = config.host
@@ -297,14 +307,23 @@ class NetServer:
         op = message.get("op")
         req_id = message.get("id")
         session_name = str(message.get("session") or "net")
+        if self.router is not None:
+            early = await self.router.intercept(op, message)
+            if early is not None:
+                return early
         if op == "ping":
             return wire.ok_response(req_id, {"pong": True})
         if op == "hello":
             opts = wire.unpack_body(message.get("body")) or {}
             session = self.service.get_or_open_session(session_name,
                                                        **opts)
-            return wire.ok_response(req_id, {
-                "session": session.name, "priority": session.priority})
+            body = {"session": session.name,
+                    "priority": session.priority}
+            if self.router is not None:
+                body["shard"] = self.router.hello_info()
+            return wire.ok_response(req_id, body)
+        if op == "stats":
+            return wire.ok_response(req_id, self.stats_snapshot())
         session = self.service.get_or_open_session(session_name)
         body = wire.unpack_body(message.get("body"))
         with obs.span("net.request", component="net", op=op,
@@ -327,6 +346,25 @@ class NetServer:
                                     reason="bad-json")
             result = await asyncio.wrap_future(future)
         return wire.ok_response(req_id, result)
+
+    def stats_snapshot(self) -> dict:
+        """Live service/admission/obs counters (the ``stats`` wire op).
+
+        The cluster supervisor and the stats CLI scrape this from each
+        shard — counters live in the shard's own process, so the wire
+        is the only way to aggregate them fleet-wide (the exactly-once
+        ``translator.core_runs`` accounting in the cluster chaos
+        campaign depends on it).
+        """
+        body = {
+            "service": self.service.stats.as_dict(),
+            "admission": self.service._admission.stats.as_dict(),
+            "counters": dict(obs.metrics_snapshot().get("counters", {})),
+            "active_connections": len(self._active),
+        }
+        if self.router is not None:
+            body["shard"] = self.router.describe()
+        return body
 
     # -- response path (where wire faults land) ----------------------------
 

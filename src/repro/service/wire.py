@@ -64,6 +64,7 @@ from repro.errors import (
     ServiceError,
     ServiceOverload,
     SessionBudgetExceeded,
+    ShardMovedError,
 )
 
 #: Bumped whenever the envelope layout changes; a peer speaking a
@@ -335,6 +336,7 @@ _ERROR_CLASSES = {
     "service-overload": ServiceOverload,
     "session-budget": SessionBudgetExceeded,
     "service-closed": ServiceClosed,
+    "shard-moved": ShardMovedError,
     "protocol": ProtocolError,
 }
 

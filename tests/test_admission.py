@@ -206,3 +206,50 @@ def test_revise_to_queue_full_after_cached_admit_skips_refund():
     assert not controller.admit("s", priority=1, qsize=0).admitted
     assert controller.stats.as_dict() == {"ok": 1, "queue-full": 1,
                                           "throttled": 1}
+
+
+# -- conservative cold start --------------------------------------------------
+
+def test_bucket_initial_fraction_starts_partially_filled():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=8.0, clock=clock,
+                         initial_fraction=0.25)
+    assert bucket.tokens == 2.0
+    # Only the pre-earned fraction is spendable up front ...
+    assert [bucket.try_take() for _ in range(2)] == [0.0, 0.0]
+    assert bucket.try_take() > 0.0
+    # ... and the burst ceiling is unchanged once re-earned.
+    clock.advance(60.0)
+    assert bucket.tokens == 8.0
+
+
+def test_bucket_initial_fraction_is_clamped():
+    clock = FakeClock()
+    assert TokenBucket(rate=1.0, burst=4.0, clock=clock,
+                       initial_fraction=7.0).tokens == 4.0
+    assert TokenBucket(rate=1.0, burst=4.0, clock=clock,
+                       initial_fraction=-1.0).tokens == 0.0
+
+
+def test_cold_started_controller_meters_returning_sessions():
+    # A restarted shard has lost its bucket state; with a cold-start
+    # fraction the returning session is metered by the refill rate
+    # instead of being handed a whole fresh burst (thundering herd).
+    clock = FakeClock()
+    cold = AdmissionController(
+        AdmissionPolicy(session_rate=1.0, session_burst=8.0,
+                        cold_start_fraction=0.25),
+        queue_depth=10, clock=clock)
+    admitted = sum(
+        1 for _ in range(8)
+        if cold.admit("returning", priority=1, qsize=0).admitted)
+    assert admitted == 2  # 25% of burst, not the full 8
+    # The default policy is full-bucket boot (cold start is opt-in,
+    # chosen by the supervisor for restarts only).
+    warm = AdmissionController(
+        AdmissionPolicy(session_rate=1.0, session_burst=8.0),
+        queue_depth=10, clock=clock)
+    admitted = sum(
+        1 for _ in range(8)
+        if warm.admit("returning", priority=1, qsize=0).admitted)
+    assert admitted == 8

@@ -83,6 +83,40 @@ def test_session_continuity_across_reconnect():
         assert session.name == "sticky"
 
 
+def test_close_is_idempotent_and_concurrent_safe():
+    import threading
+
+    from repro.errors import ServiceClosed
+
+    loop = K.fir_filter(taps=4)
+    with _server() as server:
+        client = LoopClient(server.host, server.port, session="closer")
+        assert client.translate(loop).ok
+        # Many racing closes (as happens when a pool tears down while
+        # a with-block exits) must neither raise nor double-close the
+        # descriptor.
+        barrier = threading.Barrier(8)
+        errors: list[BaseException] = []
+
+        def slam() -> None:
+            barrier.wait()
+            try:
+                client.close()
+            except BaseException as exc:  # noqa: BLE001 — the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=slam) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = client.close()  # still idempotent after the stampede
+        assert stats.requests >= 1
+        with pytest.raises(ServiceClosed):
+            client.ping()  # closed clients refuse to reconnect
+
+
 def test_typed_error_crosses_the_wire():
     loop = K.fir_filter(taps=4)
     with _server() as server:

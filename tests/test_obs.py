@@ -283,3 +283,25 @@ class TestFigureInvariance:
         assert "Translation phases" in text
         assert "Metrics: counters" in text
         assert "translator" in text
+
+    def test_stats_surfaces_service_tier_counters(self, tmp_path):
+        # Client retry behaviour, admission decisions and cluster
+        # health counters get their own grouped table ahead of the
+        # alphabetical dump — the failure-handling story at a glance.
+        path = str(tmp_path / "trace.jsonl")
+        obs.start_trace(path)
+        try:
+            obs.inc("net.client.retries", 3)
+            obs.inc("service.admission.saturated", 2)
+            obs.inc("cluster.shard_restarts")
+            obs.inc("cluster.client.failovers", 4)
+            obs.write_metrics_record()
+        finally:
+            obs.stop_trace()
+        text = format_trace_stats(load_trace(path), source=path)
+        assert "Service tier: client / admission / cluster" in text
+        tier = text.split("Service tier")[1].split("\n\n")[0]
+        assert "net.client.retries" in tier
+        assert "service.admission.saturated" in tier
+        assert "cluster.shard_restarts" in tier
+        assert "cluster.client.failovers" in tier
