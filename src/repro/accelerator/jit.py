@@ -39,7 +39,9 @@ the reference interpreter remains ground truth.
 
 from __future__ import annotations
 
+import os
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional
 
@@ -96,10 +98,24 @@ class SpecializedKernel:
 # -- in-process code cache ----------------------------------------------------
 
 #: key -> SpecializedKernel, or None for a negative (unsupported) entry.
-_code_cache: dict[tuple, Optional[SpecializedKernel]] = {}
-#: loop name -> keys, for guard-driven invalidation.
+#: Ordered LRU: hits move to the back, eviction pops the front.  The
+#: key embeds the trip count, so a long-lived service seeing varying
+#: trips for one loop would otherwise grow this without bound.
+_code_cache: "OrderedDict[tuple, Optional[SpecializedKernel]]" = OrderedDict()
+#: loop name -> keys, for guard-driven invalidation; ``_key_loop`` is
+#: the reverse map so LRU eviction can clean the per-loop sets.
 _loop_keys: dict[str, set] = {}
-_stats = {"compiled": 0, "hits": 0, "unsupported": 0, "deopts": 0}
+_key_loop: dict[tuple, str] = {}
+_stats = {"compiled": 0, "hits": 0, "unsupported": 0, "deopts": 0,
+          "evicted": 0}
+
+#: Max cached kernels (``REPRO_JIT_CACHE`` / :func:`set_code_cache_limit`
+#: override).  Negative (unsupported) entries count too — they are tiny,
+#: but an unbounded negative set is still a leak.
+DEFAULT_CODE_CACHE_LIMIT = 256
+JIT_CACHE_ENV = "REPRO_JIT_CACHE"
+
+_code_cache_limit_override: Optional[int] = None
 
 #: Test seam: when set, applied to the specialized live-outs as
 #: ``hook(loop_name, live_outs) -> live_outs`` so guard tests can force
@@ -112,13 +128,58 @@ def set_test_corruption(hook: Optional[Callable[[str, dict], dict]]) -> None:
     _test_corruption = hook
 
 
+def set_code_cache_limit(limit: Optional[int]) -> None:
+    """Process-wide cap override (None restores env/default); applies
+    on the next insert — existing entries are not evicted eagerly."""
+    global _code_cache_limit_override
+    _code_cache_limit_override = (None if limit is None
+                                  else max(1, int(limit)))
+
+
+def code_cache_limit() -> int:
+    if _code_cache_limit_override is not None:
+        return _code_cache_limit_override
+    raw = os.environ.get(JIT_CACHE_ENV)
+    if raw:
+        # Permissive like REPRO_JOBS: Settings.from_env rejects loudly.
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_CODE_CACHE_LIMIT
+
+
+def _forget_key(key: tuple) -> None:
+    """Unlink *key* from the per-loop invalidation index."""
+    loop_name = _key_loop.pop(key, None)
+    if loop_name is not None:
+        keys = _loop_keys.get(loop_name)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                _loop_keys.pop(loop_name, None)
+
+
+def _evict_to_limit() -> None:
+    limit = code_cache_limit()
+    while len(_code_cache) > limit:
+        key, _kernel = _code_cache.popitem(last=False)
+        _forget_key(key)
+        _stats["evicted"] += 1
+        obs.inc("jit.code_cache_evicted")
+    obs.set_gauge("jit.code_cache_size", len(_code_cache))
+
+
 def clear_code_cache() -> None:
     _code_cache.clear()
     _loop_keys.clear()
+    _key_loop.clear()
+    obs.set_gauge("jit.code_cache_size", 0)
 
 
 def code_cache_stats() -> dict:
-    return dict(_stats, entries=len(_code_cache))
+    return dict(_stats, entries=len(_code_cache),
+                limit=code_cache_limit())
 
 
 def invalidate_loop(loop_name: str) -> int:
@@ -126,11 +187,13 @@ def invalidate_loop(loop_name: str) -> int:
     keys = _loop_keys.pop(loop_name, set())
     dropped = 0
     for key in keys:
+        _key_loop.pop(key, None)
         if _code_cache.pop(key, None) is not None:
             dropped += 1
     if dropped:
         _stats["deopts"] += dropped
         obs.inc("vm.specialize_deopt", dropped)
+    obs.set_gauge("jit.code_cache_size", len(_code_cache))
     return dropped
 
 
@@ -156,6 +219,7 @@ def kernel_for(image: KernelImage, trips: int
     key = _image_key(image, trips)
     if key in _code_cache:
         _stats["hits"] += 1
+        _code_cache.move_to_end(key)
         return _code_cache[key]
     started = time.perf_counter()
     try:
@@ -174,6 +238,8 @@ def kernel_for(image: KernelImage, trips: int
                 (time.perf_counter() - started) * 1000.0)
     _code_cache[key] = kernel
     _loop_keys.setdefault(image.loop.name, set()).add(key)
+    _key_loop[key] = image.loop.name
+    _evict_to_limit()
     return kernel
 
 

@@ -50,6 +50,9 @@ SERVICE_SECRET_ENV = "REPRO_SERVICE_SECRET"
 SHARDS_ENV = "REPRO_SHARDS"
 RETRY_ATTEMPTS_ENV = "REPRO_RETRY_ATTEMPTS"
 RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
+ARTIFACT_ENV = "REPRO_ARTIFACT"
+CACHE_BUDGET_ENV = "REPRO_CACHE_BUDGET"
+JIT_CACHE_ENV = "REPRO_JIT_CACHE"
 
 
 def _default_accelerator() -> LAConfig:
@@ -100,6 +103,17 @@ class Settings:
     #: Network client retry policy (attempts and backoff base).
     retry_attempts: int = 5
     retry_backoff_s: float = 0.02
+    #: AOT artifact installed into the translation cache by
+    #: :meth:`apply` (None = no artifact).  A missing file raises
+    #: :class:`~repro.errors.ArtifactError`; a corrupt/stale one is
+    #: quarantined and the run proceeds with dynamic translation.
+    artifact_path: Optional[str] = None
+    #: Disk-cache size budget in bytes for the GC sweep (None = the
+    #: transcache default, 256 MiB).
+    cache_budget: Optional[int] = None
+    #: Max specialized kernels the JIT code cache keeps (None = the
+    #: jit default, 256).
+    jit_cache: Optional[int] = None
 
     @classmethod
     def from_env(cls, environ: Optional[Mapping[str, str]] = None, *,
@@ -113,7 +127,10 @@ class Settings:
                  service_secret: Optional[str] = None,
                  shards: Optional[int | str] = None,
                  retry_attempts: Optional[int | str] = None,
-                 retry_backoff_s: Optional[float | str] = None
+                 retry_backoff_s: Optional[float | str] = None,
+                 artifact_path: Optional[str] = None,
+                 cache_budget: Optional[int | str] = None,
+                 jit_cache: Optional[int | str] = None
                  ) -> "Settings":
         """Load settings from *environ* (default ``os.environ``).
 
@@ -141,6 +158,10 @@ class Settings:
             retry_attempts = env.get(RETRY_ATTEMPTS_ENV, 5)
         if retry_backoff_s is None:
             retry_backoff_s = env.get(RETRY_BACKOFF_ENV, 0.02)
+        if cache_budget is None:
+            cache_budget = env.get(CACHE_BUDGET_ENV) or None
+        if jit_cache is None:
+            jit_cache = env.get(JIT_CACHE_ENV) or None
         return cls(
             jobs=job_count,
             engine=engine_level,
@@ -158,6 +179,15 @@ class Settings:
                                           RETRY_ATTEMPTS_ENV, minimum=1),
             retry_backoff_s=cls._parse_seconds(retry_backoff_s,
                                                RETRY_BACKOFF_ENV),
+            artifact_path=(artifact_path or env.get(ARTIFACT_ENV)
+                           or None),
+            cache_budget=(None if cache_budget is None
+                          else cls._parse_int(cache_budget,
+                                              CACHE_BUDGET_ENV,
+                                              minimum=0)),
+            jit_cache=(None if jit_cache is None
+                       else cls._parse_int(jit_cache, JIT_CACHE_ENV,
+                                           minimum=1)),
         )
 
     @staticmethod
@@ -233,9 +263,15 @@ class Settings:
         truncate-then-write lifecycle for its own output file.
         """
         from repro import obs, perf
+        from repro.accelerator import jit
+        from repro.perf import transcache
         from repro.resilience.incidents import incident_log
         perf.set_engine_level(self.engine)
         perf.set_jobs(self.jobs)
+        if self.cache_budget is not None:
+            transcache.set_gc_budget(self.cache_budget)
+        if self.jit_cache is not None:
+            jit.set_code_cache_limit(self.jit_cache)
         if self.cache_dir is not None:
             perf.translation_cache().attach_disk(self.cache_dir,
                                                  strict=True)
@@ -243,6 +279,9 @@ class Settings:
             incident_log().configure_sink(self.incident_log)
         if self.trace_path is not None and not obs.tracing_active():
             obs.start_trace(self.trace_path, truncate=False)
+        if self.artifact_path is not None:
+            from repro import aot
+            aot.install(self.artifact_path)
         return self
 
 

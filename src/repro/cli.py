@@ -20,6 +20,10 @@ inspects a kernel's translation without writing code:
     python -m repro netchaos -n 20 --seed 2008 # network-fault chaos campaign
     python -m repro serve --shards 3           # supervised shard cluster smoke
     python -m repro clusterchaos --seed 2008   # shard-fault chaos campaign
+    python -m repro aot build                  # precompile the workload suite
+    python -m repro aot inspect                # show an artifact's manifest
+    python -m repro serve --artifact suite.rvaf  # boot warm from an artifact
+    python -m repro cache gc                   # sweep stale/over-budget cache
 """
 
 from __future__ import annotations
@@ -108,7 +112,8 @@ def cmd_faults(injections: int, seed: int, mode: str):
         config, progress=lambda msg: print(f"... {msg}", file=sys.stderr))
 
 
-def cmd_serve(workers: int, sessions: int) -> tuple[str, bool]:
+def cmd_serve(workers: int, sessions: int,
+              artifact: Optional[str] = None) -> tuple[str, bool]:
     """Boot the loop-acceleration service, drive a short multi-session
     workload through it, and drain.
 
@@ -126,7 +131,8 @@ def cmd_serve(workers: int, sessions: int) -> tuple[str, bool]:
     from repro.service.loadgen import request_corpus
 
     corpus = request_corpus()
-    service = LoopService(ServiceConfig(workers=workers)).start()
+    service = LoopService(ServiceConfig(
+        workers=workers, artifact_path=artifact or None)).start()
     try:
         handles = [service.open_session(f"session-{i}")
                    for i in range(sessions)]
@@ -161,7 +167,8 @@ def cmd_serve(workers: int, sessions: int) -> tuple[str, bool]:
 
 def cmd_serve_net(host: str, port: int, workers: int,
                   sessions: int,
-                  secret: Optional[str] = None) -> tuple[str, bool]:
+                  secret: Optional[str] = None,
+                  artifact: Optional[str] = None) -> tuple[str, bool]:
     """The ``serve`` smoke over TCP: boot the network front end, drive
     the same multi-session translate corpus through ``LoopClient``
     connections (framed wire protocol, retries, admission hints all
@@ -179,7 +186,8 @@ def cmd_serve_net(host: str, port: int, workers: int,
     retries = 0
     server = NetServer(NetConfig(
         host=host, port=port, auth_secret=secret,
-        service=ServiceConfig(workers=workers))).start()
+        service=ServiceConfig(workers=workers,
+                              artifact_path=artifact or None))).start()
     bound = f"{server.host}:{server.port}"
     try:
         for i in range(sessions):
@@ -211,7 +219,8 @@ def cmd_serve_net(host: str, port: int, workers: int,
 
 
 def cmd_serve_cluster(host: str, shards: int, sessions: int,
-                      secret: Optional[str] = None) -> tuple[str, bool]:
+                      secret: Optional[str] = None,
+                      artifact: Optional[str] = None) -> tuple[str, bool]:
     """The ``serve`` smoke as a sharded cluster: boot a supervised
     N-shard fleet, drive the multi-session translate corpus through
     failover :class:`~repro.service.cluster.ClusterClient` connections
@@ -235,7 +244,8 @@ def cmd_serve_cluster(host: str, shards: int, sessions: int,
     moved = 0
     supervisor = ShardSupervisor(ClusterConfig(
         shards=shards, host=host, auth_secret=secret,
-        service=ServiceConfig(workers=1))).start()
+        service=ServiceConfig(
+            workers=1, artifact_path=artifact or None))).start()
     try:
         seed_host, seed_port = supervisor.seed_address()
         killed = False
@@ -384,6 +394,35 @@ def main(argv: Optional[list[str]] = None) -> int:
                             "(default: REPRO_SHARDS or 1)")
     serve.add_argument("--trace", default=None, metavar="PATH",
                        help="also write a JSONL span trace to PATH")
+    serve.add_argument("--artifact", default=os.environ.get(
+                           "REPRO_ARTIFACT"),
+                       help="AOT artifact file loaded into each "
+                            "server/shard at startup (default: "
+                            "REPRO_ARTIFACT)")
+    aot = sub.add_parser("aot",
+                         help="build or inspect ahead-of-time "
+                              "translation artifacts")
+    aot.add_argument("action", choices=("build", "inspect"),
+                     help="build: translate the workload suite into an "
+                          "artifact; inspect: print an artifact's "
+                          "manifest")
+    aot.add_argument("path", nargs="?", default=None,
+                     help="artifact file (default benchmarks/results/"
+                          "suite.rvaf)")
+    aot.add_argument("--output", "-o", default=None,
+                     help="build output path (overrides the positional "
+                          "path)")
+    cache = sub.add_parser("cache",
+                           help="disk translation-cache maintenance")
+    cache.add_argument("action", choices=("gc",),
+                       help="gc: sweep version-stale and over-budget "
+                            "entries")
+    cache.add_argument("--dir", default=None,
+                       help="cache directory (default: REPRO_CACHE_DIR "
+                            "or benchmarks/results/.cache)")
+    cache.add_argument("--budget", type=int, default=None,
+                       help="size budget in bytes (default: "
+                            "REPRO_CACHE_BUDGET or 256 MiB)")
     loadgen = sub.add_parser("loadgen",
                              help="multi-client service load driver: "
                                   "throughput scaling, single-flight "
@@ -466,10 +505,18 @@ def main(argv: Optional[list[str]] = None) -> int:
     # explicit override is a configuration error the user must see at
     # startup, not a silent fallback.
     from repro.api import Settings
-    from repro.errors import CacheConfigError, SettingsError
+    from repro.errors import (ArtifactError, CacheConfigError,
+                              SettingsError)
+    environ = None
+    if args.command in ("aot", "cache"):
+        # Building or GC'ing must not require REPRO_ARTIFACT to name an
+        # existing file — `aot build` is how it comes to exist.
+        environ = {k: v for k, v in os.environ.items()
+                   if k != "REPRO_ARTIFACT"}
     try:
-        Settings.from_env(jobs=getattr(args, "jobs", None)).apply()
-    except (SettingsError, CacheConfigError) as exc:
+        Settings.from_env(environ,
+                          jobs=getattr(args, "jobs", None)).apply()
+    except (SettingsError, CacheConfigError, ArtifactError) as exc:
         print(f"error: [{exc.kind}] {exc}", file=sys.stderr)
         return 2
 
@@ -495,6 +542,10 @@ def main(argv: Optional[list[str]] = None) -> int:
               f"(TCP transport)")
         print(f"  {'clusterchaos'.ljust(width)}  shard-fault campaign "
               f"(sharded cluster)")
+        print(f"  {'aot'.ljust(width)}  build/inspect ahead-of-time "
+              f"translation artifacts")
+        print(f"  {'cache'.ljust(width)}  disk translation-cache "
+              f"maintenance (gc)")
         return 0
     if args.command == "kernels":
         print(cmd_kernels())
@@ -579,6 +630,39 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(text)
         print(f"trace written to {path}", file=sys.stderr)
         return 0
+    if args.command == "aot":
+        from repro import aot as aot_mod
+        try:
+            if args.action == "build":
+                path = (args.output or args.path
+                        or aot_mod.DEFAULT_ARTIFACT)
+                report = aot_mod.build_artifact(
+                    path, progress=lambda msg: print(
+                        f"... {msg}", file=sys.stderr))
+                print(aot_mod.format_build(report))
+                return 0
+            path = args.path or aot_mod.DEFAULT_ARTIFACT
+            artifact = aot_mod.load_artifact(path)
+            if artifact is None:
+                print(f"artifact {path!r} failed validation and was "
+                      f"quarantined (see the incident log)",
+                      file=sys.stderr)
+                return 1
+            print(aot_mod.format_artifact(artifact))
+            return 0
+        except ArtifactError as exc:
+            print(f"error: [{exc.kind}] {exc}", file=sys.stderr)
+            return 2
+    if args.command == "cache":
+        from repro.perf import transcache
+        path = args.dir or transcache.default_disk_dir()
+        summary = transcache.gc_disk_dir(path, budget=args.budget)
+        print(f"cache gc {summary['dir']}: removed {summary['stale']} "
+              f"version-stale + {summary['evicted']} over-budget "
+              f"entries ({summary['bytes_freed']} bytes freed); kept "
+              f"{summary['kept']} entries ({summary['kept_bytes']} "
+              f"bytes of {summary['budget_bytes']} budget)")
+        return 0
     if args.command == "serve":
         from repro.errors import TransportError
         shards = (args.shards if args.shards is not None
@@ -589,16 +673,20 @@ def main(argv: Optional[list[str]] = None) -> int:
                 if shards > 1:
                     return cmd_serve_cluster(args.host, shards,
                                              args.sessions,
-                                             secret=args.secret)
+                                             secret=args.secret,
+                                             artifact=args.artifact)
                 if args.port is not None:
                     return cmd_serve_net(args.host, args.port,
                                          args.workers, args.sessions,
-                                         secret=args.secret)
-            except TransportError as exc:
-                # A refused bind (non-loopback without --secret) is
-                # a configuration error, not a crash.
+                                         secret=args.secret,
+                                         artifact=args.artifact)
+                return cmd_serve(args.workers, args.sessions,
+                                 artifact=args.artifact)
+            except (TransportError, ArtifactError) as exc:
+                # A refused bind (non-loopback without --secret) or a
+                # missing named artifact is a configuration error, not
+                # a crash.
                 return f"error: [{exc.kind}] {exc}", False
-            return cmd_serve(args.workers, args.sessions)
         if args.trace:
             from repro import obs
             obs.start_trace(args.trace)

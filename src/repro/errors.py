@@ -425,6 +425,26 @@ class CacheConfigError(InfrastructureError):
         self.path = path
 
 
+class ArtifactError(InfrastructureError):
+    """An explicitly named AOT artifact cannot be used at all.
+
+    Raised only when the artifact was configured by name
+    (``REPRO_ARTIFACT`` / ``serve --artifact`` / ``aot build -o``) and
+    the file is missing or its directory unwritable — a loud early
+    error, like :class:`CacheConfigError`.  A *corrupt* or
+    version-stale artifact is never this: it is quarantined with an
+    incident record and the run transparently falls back to dynamic
+    translation.
+    """
+
+    kind = "artifact"
+
+    def __init__(self, message: str, path: Optional[str] = None,
+                 **kw: Any) -> None:
+        super().__init__(message, **kw)
+        self.path = path
+
+
 class WorkerTaskError(InfrastructureError):
     """A sweep task raised inside a worker (or on the serial path).
 
@@ -465,6 +485,7 @@ class WorkerStallError(InfrastructureError):
 __all__ = [
     "AcceleratorFault",
     "AdmissionRejected",
+    "ArtifactError",
     "CacheConfigError",
     "CacheIntegrityError",
     "CircuitOpenError",

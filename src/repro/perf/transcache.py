@@ -35,7 +35,7 @@ import os
 import pickle
 import tempfile
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Mapping, Optional
 
 from repro import obs
 from repro.errors import CacheConfigError, CacheIntegrityError
@@ -47,10 +47,136 @@ DEFAULT_DISK_DIR = os.path.join("benchmarks", "results", ".cache")
 #: must fail loudly, not silently degrade).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Disk-layer size budget in bytes (``REPRO_CACHE_BUDGET`` overrides).
+DEFAULT_GC_BUDGET = 256 * 1024 * 1024
+CACHE_BUDGET_ENV = "REPRO_CACHE_BUDGET"
+
+#: The version-stamp file the GC sweep keys on.  Digests bake
+#: ``DIGEST_VERSION`` into the *pre-hash*, so a filename cannot reveal
+#: which version wrote it — without this stamp, entries stranded by a
+#: version bump (``veal-perf-1`` -> ``veal-perf-2``) are
+#: indistinguishable from live ones and accumulate as dead files
+#: forever.
+STAMP_NAME = "digest.version"
+
+_gc_budget_override: Optional[int] = None
+
+
+def set_gc_budget(budget: Optional[int]) -> None:
+    """Process-wide disk-budget override (None restores env/default)."""
+    global _gc_budget_override
+    _gc_budget_override = None if budget is None else max(0, int(budget))
+
+
+def effective_gc_budget() -> int:
+    if _gc_budget_override is not None:
+        return _gc_budget_override
+    raw = os.environ.get(CACHE_BUDGET_ENV)
+    if raw:
+        # Permissive like REPRO_JOBS: Settings.from_env rejects loudly.
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_GC_BUDGET
+
 
 def default_disk_dir() -> str:
     """The disk layer's default location (``REPRO_CACHE_DIR`` wins)."""
     return os.environ.get(CACHE_DIR_ENV) or DEFAULT_DISK_DIR
+
+
+def gc_disk_dir(path: str, budget: Optional[int] = None) -> dict:
+    """Version-stale + size-budget sweep of one cache directory.
+
+    Two passes, both counted in ``cache.gc.*`` metrics and summarised
+    in the returned dict:
+
+    * **stale** — when the directory's :data:`STAMP_NAME` stamp names
+      a different ``DIGEST_VERSION`` than this process, every entry is
+      unreachable dead weight (keys embed the version pre-hash) and is
+      removed; the stamp is then rewritten.  A missing stamp (a
+      pre-GC-era directory) is adopted as-is: the stamp is written and
+      only the size budget applies.
+    * **evicted** — remaining entries beyond *budget* bytes are removed
+      oldest-``mtime``-first.
+
+    ``quarantine/`` is never touched (quarantined entries are
+    diagnostic evidence), and ``.tmp`` orphans are left for the chaos
+    campaign's crash-evidence scan.  I/O failures degrade silently —
+    GC is best-effort hygiene, never a correctness dependency.
+    """
+    from repro.perf.digest import DIGEST_VERSION
+    from repro.resilience import integrity
+    if budget is None:
+        budget = effective_gc_budget()
+    summary = {"dir": path, "stale": 0, "evicted": 0, "bytes_freed": 0,
+               "kept": 0, "kept_bytes": 0, "budget_bytes": budget}
+    try:
+        names = os.listdir(path)
+    except OSError:
+        return summary
+    stamp_path = os.path.join(path, STAMP_NAME)
+    try:
+        with open(stamp_path, "r") as handle:
+            stamped: Optional[str] = handle.read().strip()
+    except OSError:
+        stamped = None
+    entries = []
+    for name in names:
+        if not name.endswith(".pkl"):
+            continue  # quarantine/, .tmp orphans, the stamp: all kept
+        full = os.path.join(path, name)
+        try:
+            status = os.stat(full)
+        except OSError:
+            continue
+        entries.append((status.st_mtime, status.st_size, full))
+    if stamped is not None and stamped != DIGEST_VERSION:
+        for _mtime, size, full in entries:
+            try:
+                os.unlink(full)
+            except OSError:
+                continue
+            summary["stale"] += 1
+            summary["bytes_freed"] += size
+        entries = []
+    if stamped != DIGEST_VERSION:
+        try:
+            integrity.write_atomic(
+                stamp_path, (DIGEST_VERSION + "\n").encode("utf-8"),
+                fsync=False)
+        except OSError:
+            pass
+    entries.sort()  # oldest mtime first: evict the coldest entries
+    total = sum(size for _mtime, size, _full in entries)
+    while entries and total > budget:
+        _mtime, size, full = entries.pop(0)
+        try:
+            os.unlink(full)
+        except OSError:
+            continue
+        total -= size
+        summary["evicted"] += 1
+        summary["bytes_freed"] += size
+    summary["kept"] = len(entries)
+    summary["kept_bytes"] = total
+    if summary["stale"]:
+        obs.inc("cache.gc.stale", summary["stale"])
+    if summary["evicted"]:
+        obs.inc("cache.gc.evicted", summary["evicted"])
+    if summary["bytes_freed"]:
+        obs.inc("cache.gc.bytes_freed", summary["bytes_freed"])
+    if summary["stale"] or summary["evicted"]:
+        from repro.resilience.incidents import record_incident
+        record_incident(
+            "cache-gc", "transcache",
+            f"disk cache sweep of {path}: {summary['stale']} "
+            f"version-stale + {summary['evicted']} over-budget "
+            f"entries removed ({summary['bytes_freed']} bytes)",
+            **{k: v for k, v in summary.items() if k != "dir"},
+            path=path)
+    return summary
 
 
 def validate_cache_dir(path: str) -> None:
@@ -153,6 +279,16 @@ class TranslationCache:
         self._entries: dict[str, CoreEntry] = {}
         self.disk_dir: Optional[str] = None
         self.stats = TransCacheStats()
+        #: Last-resort lookup layer: a callable ``key -> CoreEntry | None``
+        #: that asks the fleet's artifact registry (a designated peer
+        #: shard) before this process pays a cold translation.  Installed
+        #: by the service when a registry address is configured.
+        self._fetcher: Optional[Callable[[str], Optional[CoreEntry]]] = None
+        self._fetching = False
+        #: Keys seeded from an AOT artifact, so hits on them can be
+        #: attributed (``aot.artifact_hits``) separately from entries
+        #: this process translated or pulled from disk.
+        self._artifact_keys: set[str] = set()
         if disk_dir is not None:
             self.attach_disk(disk_dir)
 
@@ -179,6 +315,10 @@ class TranslationCache:
                 self.disk_dir = None
                 raise
             self.disk_dir = None
+        if self.disk_dir is not None:
+            # Lifecycle sweep at attach: drop entries stranded by a
+            # DIGEST_VERSION bump and enforce the size budget.
+            gc_disk_dir(self.disk_dir)
         return self.disk_dir or ""
 
     def detach_disk(self) -> None:
@@ -264,6 +404,80 @@ class TranslationCache:
         except OSError as exc:
             self._io_incident("store", path, exc)
 
+    # -- artifact / registry layers ----------------------------------------
+
+    def adopt_artifact(self, entries: Mapping[str, CoreEntry]) -> int:
+        """Seed AOT-artifact entries, statistics-untouched.
+
+        First-writer-wins like :meth:`seed` — an entry this process
+        already translated is authoritative over the artifact's copy
+        (they are byte-identical by construction, but the live one has
+        already been handed out).  Returns the number adopted.
+        """
+        adopted = 0
+        for key, entry in entries.items():
+            if key not in self._entries:
+                self._entries[key] = entry
+                self._artifact_keys.add(key)
+                adopted += 1
+        obs.set_gauge("aot.artifact_entries", len(self._artifact_keys))
+        return adopted
+
+    def set_fetcher(self, fetcher: Optional[Callable[[str],
+                    Optional[CoreEntry]]]
+                    ) -> Optional[Callable[[str], Optional[CoreEntry]]]:
+        """Install (or clear) the registry fetcher; returns the old one."""
+        previous = self._fetcher
+        self._fetcher = fetcher
+        return previous
+
+    def _remote_fetch(self, key: str) -> Optional[CoreEntry]:
+        """Ask the registry for *key*; never raises, never recurses.
+
+        The reentrancy guard matters because the fetcher's transport
+        may itself translate (e.g. building a request that consults
+        this cache): a nested lookup degrades to a local miss rather
+        than deadlocking or looping.
+        """
+        if self._fetcher is None or self._fetching:
+            return None
+        self._fetching = True
+        try:
+            entry = self._fetcher(key)
+        except Exception:
+            # The fetcher is expected to catch its own transport
+            # errors; this backstop keeps a buggy fetcher from turning
+            # a cache miss into a run failure.
+            obs.inc("aot.registry_errors")
+            return None
+        finally:
+            self._fetching = False
+        if entry is None:
+            obs.inc("aot.registry_misses")
+            return None
+        if not isinstance(entry, CoreEntry):
+            obs.inc("aot.registry_errors")
+            return None
+        obs.inc("aot.registry_hits")
+        return entry
+
+    def fetch_remote(self, key: str) -> bool:
+        """Stats-neutral registry prefetch (admission-hint path).
+
+        Pulls *key* into memory if the registry has it; hit/miss
+        counters stay untouched so prefetching cannot skew the
+        figure-facing cache statistics.
+        """
+        if key in self._entries:
+            return True
+        if self.peek(key) is not None:
+            return True
+        entry = self._remote_fetch(key)
+        if entry is None:
+            return False
+        self._entries[key] = entry
+        return True
+
     # -- lookup/insert -----------------------------------------------------
 
     def get(self, key: str) -> Optional[CoreEntry]:
@@ -271,6 +485,8 @@ class TranslationCache:
         if entry is not None:
             self.stats.hits += 1
             obs.inc("transcache.hits")
+            if key in self._artifact_keys:
+                obs.inc("aot.artifact_hits")
             return entry
         entry = self._disk_load(key)
         if entry is not None:
@@ -279,6 +495,15 @@ class TranslationCache:
             self.stats.disk_hits += 1
             obs.inc("transcache.hits")
             obs.inc("transcache.disk_hits")
+            return entry
+        entry = self._remote_fetch(key)
+        if entry is not None:
+            # A registry pull is a hit for exactly-once accounting —
+            # some fleet member paid the core run; this process must
+            # not pay it again.
+            self._entries[key] = entry
+            self.stats.hits += 1
+            obs.inc("transcache.hits")
             return entry
         self.stats.misses += 1
         obs.inc("transcache.misses")
@@ -318,6 +543,7 @@ class TranslationCache:
     def invalidate(self, key: str) -> bool:
         """Deoptimisation support: drop one translation everywhere."""
         found = self._entries.pop(key, None) is not None
+        self._artifact_keys.discard(key)
         if self.disk_dir is not None:
             try:
                 os.unlink(self._disk_path(key))
@@ -330,8 +556,14 @@ class TranslationCache:
         return found
 
     def clear(self) -> None:
-        """Drop the in-memory layer (disk files are left in place)."""
+        """Drop the in-memory layer (disk files are left in place).
+
+        The registry fetcher survives — ``perf.clear_caches`` resets
+        entries between cold runs, and a service worker must keep its
+        registry link across those resets.
+        """
         self._entries.clear()
+        self._artifact_keys.clear()
         self.stats = TransCacheStats()
 
     def __len__(self) -> int:

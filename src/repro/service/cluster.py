@@ -308,6 +308,12 @@ class ClusterConfig:
     #: conservative cold start that prevents a thundering-herd admit
     #: after bucket state died with the old process.
     cold_start_fraction: float = 0.25
+    #: Give every spawned shard a live peer as its artifact registry
+    #: (``ServiceConfig.registry_addr``): a freshly (re)started shard
+    #: pulls fleet-warm translations over ``artifact-fetch`` instead of
+    #: paying cold translation.  Opt out for strict per-shard isolation
+    #: experiments.
+    registry: bool = True
 
 
 class _ShardHandle:
@@ -358,7 +364,12 @@ class ShardSupervisor:
         self._started = True
         self._ensure_importable()
         for shard_id in range(self.config.shards):
-            info, process = self._spawn(shard_id, epoch=0, cold=False)
+            # Sequential boot fills self._shards as it goes, so every
+            # shard after the first gets an already-live peer as its
+            # artifact registry.
+            info, process = self._spawn(
+                shard_id, epoch=0, cold=False,
+                registry_addr=self._registry_peer(shard_id))
             self._shards[shard_id] = _ShardHandle(info, process)
         self._bump_and_push("cluster booted")
         self._health_thread = threading.Thread(
@@ -487,23 +498,40 @@ class ShardSupervisor:
             os.environ["PYTHONPATH"] = (
                 pkg_root + (os.pathsep + existing if existing else ""))
 
-    def _shard_config(self, cold: bool, port: int = 0) -> NetConfig:
+    def _registry_peer(self, shard_id: int) -> Optional[tuple]:
+        """A live peer's (host, port) for *shard_id*'s registry link."""
+        if not self.config.registry:
+            return None
+        for sid in sorted(self._shards):
+            handle = self._shards[sid]
+            if sid != shard_id and handle.info.up:
+                return (handle.info.host, handle.info.port)
+        return None
+
+    def _shard_config(self, cold: bool, port: int = 0,
+                      registry_addr: Optional[tuple] = None) -> NetConfig:
         service = replace(self.config.service, workers=1)
         if cold:
             service = replace(service, admission=replace(
                 service.admission,
                 cold_start_fraction=self.config.cold_start_fraction))
+        if registry_addr is not None:
+            service = replace(
+                service, registry_addr=registry_addr,
+                registry_secret=self.config.auth_secret)
         return NetConfig(host=self.config.host, port=port,
                          auth_secret=self.config.auth_secret,
                          service=service)
 
     def _spawn(self, shard_id: int, epoch: int, cold: bool,
-               port: int = 0) -> tuple[ShardInfo, Any]:
+               port: int = 0, registry_addr: Optional[tuple] = None
+               ) -> tuple[ShardInfo, Any]:
         """Spawn one shard incarnation; returns its info + process."""
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_shard_main,
-            args=(shard_id, epoch, self._shard_config(cold, port),
+            args=(shard_id, epoch,
+                  self._shard_config(cold, port, registry_addr),
                   child_conn),
             name=f"repro-shard-{shard_id}.{epoch}", daemon=True)
         process.start()
@@ -649,12 +677,19 @@ class ShardSupervisor:
         """
         shard_id = handle.info.shard_id
         epoch = handle.info.epoch + 1
+        # The restarted shard's registry peer: any live sibling — the
+        # fleet-warm cache that makes this restart's translations pulls
+        # instead of cold re-runs (the down shard is excluded by its
+        # own up=False).
+        registry_addr = self._registry_peer(shard_id)
         try:
             try:
                 info, process = self._spawn(
-                    shard_id, epoch, cold=True, port=handle.info.port)
+                    shard_id, epoch, cold=True, port=handle.info.port,
+                    registry_addr=registry_addr)
             except TransportError:
-                info, process = self._spawn(shard_id, epoch, cold=True)
+                info, process = self._spawn(shard_id, epoch, cold=True,
+                                            registry_addr=registry_addr)
         except TransportError as exc:
             backoff = min(self.config.restart_backoff_max_s,
                           self.config.restart_backoff_s

@@ -174,6 +174,12 @@ class LoadgenReport:
     check_figure: str = CHECK_FIGURE
     #: Degraded-but-progressing evidence from :func:`saturation_probe`.
     saturation: dict = field(default_factory=dict)
+    #: Cold-start evidence from :func:`aot_cold_start_probe` (server
+    #: boot + request latency with vs without an AOT artifact).
+    aot: dict = field(default_factory=dict)
+    #: Fleet-warm-cache evidence from :func:`cluster_registry_probe`
+    #: (a restarted shard pulls instead of re-translating).
+    registry: dict = field(default_factory=dict)
 
     @property
     def dedup_exact(self) -> bool:
@@ -189,7 +195,9 @@ class LoadgenReport:
                 and all(r.completed == r.requests and r.converged
                         and r.orphans == 0 for r in self.cluster_runs)
                 and self.failover.get("ok", True)
-                and self.saturation.get("ok", True))
+                and self.saturation.get("ok", True)
+                and self.aot.get("ok", True)
+                and self.registry.get("ok", True))
 
 
 def run_kernels(count: int = DEFAULT_RUN_KERNELS) -> list:
@@ -595,6 +603,199 @@ def cluster_failover_probe(shards: int = 2,
     return evidence
 
 
+def aot_cold_start_probe() -> dict:
+    """Cold-start cost with vs without an AOT translation artifact.
+
+    Builds the default artifact corpus into a throwaway file, then
+    boots the same one-worker TCP server twice: once cold (every
+    translate pays a core run) and once with the artifact installed
+    (zero core runs, every corpus request an artifact hit).  Reports
+    boot seconds, per-request p50/p99, core runs, and artifact hits
+    for both, plus byte-identity of ``CHECK_FIGURE`` rendered through
+    the artifact path against a clean dynamic rendering.
+    """
+    import shutil
+    import tempfile
+
+    from repro import aot, api
+    from repro.service.client import LoopClient
+    from repro.service.net import NetConfig, NetServer
+
+    corpus = request_corpus()
+    tmpdir = tempfile.mkdtemp(prefix="repro-aot-bench-")
+    path = os.path.join(tmpdir, "suite.rvaf")
+    try:
+        perf.clear_caches()
+        build = aot.build_artifact(path)
+        evidence: dict = {
+            "artifact_entries": build.entries,
+            "artifact_loops": build.loops,
+            "build_core_runs": build.core_runs,
+        }
+
+        def one(artifact: Optional[str]) -> dict:
+            perf.clear_caches()
+            before = obs.metrics_snapshot()
+            boot_started = time.perf_counter()
+            server = NetServer(NetConfig(service=ServiceConfig(
+                workers=1, artifact_path=artifact))).start()
+            boot_s = time.perf_counter() - boot_started
+            latencies: list[float] = []
+            try:
+                with LoopClient(server.host, server.port,
+                                session="aot-bench") as client:
+                    for loop, config, options in corpus:
+                        started = time.perf_counter()
+                        client.translate(loop, config, options,
+                                         deadline_s=120.0)
+                        latencies.append(
+                            (time.perf_counter() - started) * 1000.0)
+            finally:
+                server.stop()
+            counters = obs.metrics_delta(before)["counters"]
+            return {
+                "boot_s": round(boot_s, 4),
+                "requests": len(latencies),
+                "p50_ms": round(percentile(latencies, 0.50), 3),
+                "p99_ms": round(percentile(latencies, 0.99), 3),
+                "core_runs": counters.get("translator.core_runs", 0),
+                "artifact_hits": counters.get("aot.artifact_hits", 0),
+            }
+
+        evidence["cold"] = one(None)
+        evidence["warm"] = one(path)
+        # Byte-identity through the artifact path: install the bundle
+        # into a clean cache, render, and compare against a clean
+        # dynamic rendering of the same figure.
+        perf.clear_caches()
+        aot.install(path)
+        via_artifact = api.run_figure(CHECK_FIGURE)
+        perf.clear_caches()
+        dynamic = api.run_figure(CHECK_FIGURE)
+        evidence["figure_identical"] = via_artifact == dynamic
+        evidence["check_figure"] = CHECK_FIGURE
+        evidence["ok"] = bool(
+            evidence["warm"]["core_runs"] == 0
+            and evidence["warm"]["artifact_hits"] >= len(corpus)
+            and evidence["cold"]["core_runs"] > 0
+            and evidence["figure_identical"])
+        return evidence
+    finally:
+        perf.clear_caches()
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def cluster_registry_probe(shards: int = 2) -> dict:
+    """Fleet-warm cache: a restarted shard pulls instead of paying.
+
+    Boots a cluster whose shards all install the same AOT artifact and
+    register each other as artifact-registry peers, then proves the
+    two warm paths end to end:
+
+    * the whole translate corpus crosses the fleet with **zero** core
+      runs (every shard adopted the artifact);
+    * a key *outside* the artifact is translated (owner pays one core
+      run), the owner is SIGKILLed, the key is re-translated during
+      the outage (the survivor pays once — the fleet now holds the
+      entry), and after the supervisor heals the fleet, the restarted
+      owner serves the same key with ``translator.core_runs == 0`` and
+      ``aot.registry_hits >= 1``: it pulled the entry over the wire
+      instead of re-translating.
+    """
+    import shutil
+    import tempfile
+
+    from repro import aot
+    from repro.accelerator import PROPOSED_LA
+    from repro.service.client import LoopClient
+    from repro.service.cluster import ClusterClient, ClusterConfig, \
+        ShardSupervisor
+
+    corpus = request_corpus()
+    # A key deliberately absent from the artifact corpus: the registry
+    # pull is only observable on a genuine artifact miss.
+    extra_kernel = corpus[0][0]
+    extra = (extra_kernel, PROPOSED_LA.with_(num_int_units=1),
+             TranslationOptions())
+    tmpdir = tempfile.mkdtemp(prefix="repro-aot-registry-")
+    path = os.path.join(tmpdir, "suite.rvaf")
+    evidence: dict = {"shards": shards}
+    try:
+        perf.clear_caches()
+        build = aot.build_artifact(path)
+        evidence["artifact_entries"] = build.entries
+        perf.clear_caches()
+        supervisor = ShardSupervisor(ClusterConfig(
+            shards=shards,
+            service=ServiceConfig(workers=1, artifact_path=path))).start()
+        try:
+            host, port = supervisor.seed_address()
+            with ClusterClient(host, port, session="registry-probe",
+                               shard_retry=_cluster_retry()
+                               ).connect() as client:
+                for loop, config, options in corpus:
+                    client.translate(loop, config, options,
+                                     deadline_s=120.0)
+                fleet = supervisor.shard_stats()
+                evidence["corpus_core_runs"] = sum(
+                    s["counters"].get("translator.core_runs", 0)
+                    for s in fleet.values())
+                # Owner pays the single core run for the extra key.
+                client.translate(*extra, deadline_s=120.0)
+                fleet = supervisor.shard_stats()
+                owners = [sid for sid, s in fleet.items()
+                          if s["counters"].get("translator.core_runs", 0)]
+                owner = owners[0] if owners else 0
+                evidence["owner_shard"] = owner
+                evidence["killed_pid"] = supervisor.kill_shard(owner)
+                # Re-translate during the outage: failover routes to a
+                # survivor, which pays the core run — after this, the
+                # *fleet* holds the entry even though the owner's copy
+                # died with it.
+                client.translate(*extra, deadline_s=120.0)
+            evidence["healed"] = supervisor.wait_converged(60.0)
+            # Direct request to the restarted owner: it owns the key
+            # again, misses locally (fresh process, key not in the
+            # artifact), and must pull from its registry peer.  Retry
+            # briefly: the shard accepts connections a beat before the
+            # pushed shard map lands.
+            info = supervisor.map.shards[owner]
+            pull_ms = 0.0
+            deadline = time.monotonic() + 15.0
+            while True:
+                try:
+                    with LoopClient(info.host, info.port,
+                                    session="registry-probe-direct",
+                                    retry=_cluster_retry()) as direct:
+                        started = time.perf_counter()
+                        direct.translate(*extra, deadline_s=120.0)
+                        pull_ms = (time.perf_counter() - started) * 1000.0
+                    break
+                except Exception:  # noqa: BLE001 — map push race
+                    if time.monotonic() >= deadline:
+                        raise
+                    time.sleep(0.2)
+            evidence["restart_pull_ms"] = round(pull_ms, 3)
+            restarted = supervisor.shard_stats()[owner]["counters"]
+            evidence["restarted_core_runs"] = restarted.get(
+                "translator.core_runs", 0)
+            evidence["restarted_registry_hits"] = restarted.get(
+                "aot.registry_hits", 0)
+        finally:
+            supervisor.stop()
+        evidence["orphans"] = len(supervisor.orphan_pids())
+        evidence["ok"] = bool(
+            evidence.get("corpus_core_runs") == 0
+            and evidence.get("restarted_core_runs") == 0
+            and evidence.get("restarted_registry_hits", 0) >= 1
+            and evidence.get("healed")
+            and evidence.get("orphans") == 0)
+        return evidence
+    finally:
+        perf.clear_caches()
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 def run_loadgen(workers=DEFAULT_WORKERS, clients: int = DEFAULT_CLIENTS,
                 run_kernel_count: int = DEFAULT_RUN_KERNELS,
                 queue_depth: int = 64,
@@ -625,6 +826,13 @@ def run_loadgen(workers=DEFAULT_WORKERS, clients: int = DEFAULT_CLIENTS,
         say(f"loadgen: failover probe (shard kill mid-stream, "
             f"shards={probe_shards})")
         report.failover = cluster_failover_probe(shards=probe_shards)
+    say("loadgen: AOT cold-start probe (artifact vs dynamic boot)")
+    report.aot = aot_cold_start_probe()
+    if shard_counts:
+        probe_shards = max(2, min(shard_counts))
+        say(f"loadgen: artifact-registry probe (restarted shard pulls, "
+            f"shards={probe_shards})")
+        report.registry = cluster_registry_probe(shards=probe_shards)
     say(f"loadgen: figure identity check over TCP "
         f"({report.check_figure})")
     report.figure_identical = _figure_via_service(report.check_figure)
@@ -647,6 +855,8 @@ def write_report(report: LoadgenReport, path: str = DEFAULT_OUTPUT) -> str:
         "ok": report.ok,
         "saturation": report.saturation,
         "failover": report.failover,
+        "aot": report.aot,
+        "registry": report.registry,
         "cluster_runs": [{
             "shards": r.shards,
             "elapsed_s": round(r.elapsed_s, 4),
@@ -734,6 +944,29 @@ def format_loadgen(report: LoadgenReport) -> str:
             f"{fo.get('failovers', 0)}, healed="
             f"{'yes' if fo.get('healed') else 'NO'}, orphans "
             f"{fo.get('orphans', 0)}")
+    if report.aot:
+        cold = report.aot.get("cold", {})
+        warm = report.aot.get("warm", {})
+        lines.append(
+            f"aot cold-start probe: dynamic boot "
+            f"{cold.get('boot_s', 0.0):.2f}s p99 "
+            f"{cold.get('p99_ms', 0.0):.0f}ms "
+            f"({cold.get('core_runs', 0)} core runs) vs artifact boot "
+            f"{warm.get('boot_s', 0.0):.2f}s p99 "
+            f"{warm.get('p99_ms', 0.0):.0f}ms "
+            f"({warm.get('core_runs', 0)} core runs, "
+            f"{warm.get('artifact_hits', 0)} artifact hits), figure "
+            f"identical={'yes' if report.aot.get('figure_identical') else 'NO'}")
+    if report.registry:
+        reg = report.registry
+        lines.append(
+            f"artifact-registry probe ({reg.get('shards', '?')} shards): "
+            f"corpus fleet core runs {reg.get('corpus_core_runs', '?')}, "
+            f"restarted shard {reg.get('owner_shard', '?')} pulled in "
+            f"{reg.get('restart_pull_ms', 0.0):.0f}ms with "
+            f"{reg.get('restarted_core_runs', '?')} core runs and "
+            f"{reg.get('restarted_registry_hits', 0)} registry hits, "
+            f"healed={'yes' if reg.get('healed') else 'NO'}")
     lines.append(f"single-flight dedup exact: "
                  f"{'yes' if report.dedup_exact else 'NO'} "
                  f"(core runs == unique digests, zero exact fallbacks)")

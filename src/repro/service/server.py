@@ -79,6 +79,19 @@ class ServiceConfig:
     #: Graded admission control (token buckets, watermark shedding,
     #: cached-work passthrough); see :mod:`repro.service.admission`.
     admission: AdmissionPolicy = AdmissionPolicy()
+    #: AOT artifact installed into the translation cache at ``start()``
+    #: (before the pool forks, so children inherit the warm entries).
+    #: A corrupt/stale file is quarantined and the service boots cold;
+    #: a *missing* one raises :class:`~repro.errors.ArtifactError`.
+    artifact_path: Optional[str] = None
+    #: ``(host, port)`` of a peer shard acting as the fleet's artifact
+    #: registry: a local translate miss asks it (``artifact-fetch``)
+    #: before paying a cold translation.  Picklable, so a cluster
+    #: supervisor can ship it to spawned shard processes.
+    registry_addr: Optional[tuple] = None
+    #: Frame-auth secret for the registry link (the peer's
+    #: ``auth_secret``).
+    registry_secret: Optional[str] = None
 
 
 @dataclass
@@ -184,6 +197,11 @@ class LoopService:
         self._sessions: dict[str, ServiceSession] = {}
         self._admission = AdmissionController(config.admission,
                                               config.queue_depth)
+        # Artifact-registry link (lazy; see _registry_fetch).
+        self._registry_client = None
+        self._registry_lock = threading.Lock()
+        self._registry_installed = False
+        self._prev_fetcher = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -198,6 +216,11 @@ class LoopService:
             return self
         if self.config.settings is not None:
             self.config.settings.apply()
+        if self.config.artifact_path:
+            # Before the fork: children inherit the adopted entries.
+            from repro import aot
+            adopted = aot.install(self.config.artifact_path)
+            obs.set_gauge("service.artifact_entries", adopted)
         if self.config.workers > 1:
             # Fork *before* the dispatcher threads exist: forking a
             # multithreaded process can deadlock the children.
@@ -206,6 +229,13 @@ class LoopService:
                 max_workers=self.config.workers,
                 mp_context=multiprocessing.get_context("fork"),
                 initializer=_pool_init)
+        if self.config.registry_addr is not None:
+            # After the fork: pool children must not inherit a live
+            # fetcher (their misses ship home as hints instead — see
+            # _cache_hints).
+            self._prev_fetcher = perf.translation_cache().set_fetcher(
+                self._registry_fetch)
+            self._registry_installed = True
         self._started = True
         for index in range(self.config.workers):
             thread = threading.Thread(target=self._dispatch_loop,
@@ -252,6 +282,14 @@ class LoopService:
                 self._pool = None
         else:
             self._cancel_pending()
+        if self._registry_installed:
+            perf.translation_cache().set_fetcher(self._prev_fetcher)
+            self._registry_installed = False
+            with self._registry_lock:
+                client, self._registry_client = \
+                    self._registry_client, None
+            if client is not None:
+                client.close()
         obs.set_gauge("service.queue_depth", 0)
         self.stats.admission = self._admission.stats.as_dict()
         return self.stats
@@ -416,6 +454,43 @@ class LoopService:
             return 0, None
         return session.spent_units, session.budget_units
 
+    # -- artifact registry link --------------------------------------------
+
+    def _registry_fetch(self, key: str):
+        """The translation cache's last-resort layer: ask the fleet's
+        registry peer for *key* before paying a cold translation.
+
+        Installed via ``TranslationCache.set_fetcher`` when
+        ``registry_addr`` is configured.  Never raises: any transport
+        trouble (peer down, circuit open, auth mismatch) degrades to a
+        local miss — the registry is an optimisation, never a
+        correctness dependency.  Serialized under a lock because
+        :class:`~repro.service.client.LoopClient` is one socket; cold
+        misses are rare enough that the serialization is invisible.
+        """
+        from repro.perf.transcache import CoreEntry
+        with self._registry_lock:
+            try:
+                client = self._registry_client_locked()
+                entry = client.call("artifact-fetch", key,
+                                    deadline_s=2.0)
+            except Exception:  # noqa: BLE001 — registry is best-effort
+                obs.inc("aot.registry_errors")
+                return None
+        return entry if isinstance(entry, CoreEntry) else None
+
+    def _registry_client_locked(self):
+        if self._registry_client is None:
+            from repro.service.client import LoopClient, RetryPolicy
+            host, port = self.config.registry_addr
+            self._registry_client = LoopClient(
+                host, port,
+                session=f"registry-{os.getpid()}",
+                deadline_s=2.0,
+                retry=RetryPolicy(attempts=2, attempt_timeout_s=1.0),
+                secret=self.config.registry_secret)
+        return self._registry_client
+
     # -- dispatch ----------------------------------------------------------
 
     def _dispatch_loop(self) -> None:
@@ -517,13 +592,21 @@ class LoopService:
         the child seeds it, so the child's lookup is the same cache
         hit the in-process path would take.
         """
-        if kind != "run_loop":
+        if kind == "run_loop":
+            loop, accelerator, options = payload[:3]
+        elif kind == "translate":
+            loop, accelerator, options = payload
+        else:
             return {}
-        loop, accelerator, options, _scalars, _seed = payload
         if accelerator is None:
             return {}
         key = translation_key(loop, accelerator, options)
-        entry = perf.translation_cache().peek(key)
+        cache = perf.translation_cache()
+        # Pool children have no registry link (forked before the
+        # fetcher installed): pull on their behalf, stats-neutral, so
+        # a fleet-warm entry rides the hint instead of re-translating.
+        cache.fetch_remote(key)
+        entry = cache.peek(key)
         return {} if entry is None else {key: entry}
 
 

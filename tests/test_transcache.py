@@ -178,6 +178,112 @@ def test_disk_layer_round_trips_success_and_typed_failure(tmp_path):
     assert cold_fail.failure_reason.loop_name == loop.name
 
 
+def _plant_entry(path, name, size=64, mtime=None):
+    full = path / name
+    full.write_bytes(b"x" * size)
+    if mtime is not None:
+        import os
+        os.utime(full, (mtime, mtime))
+    return full
+
+
+def test_gc_sweeps_version_stale_entries(tmp_path):
+    """A stamp naming an older DIGEST_VERSION means every entry is
+    unreachable dead weight (the bug: a version bump stranded them
+    forever) — the sweep removes them all and rewrites the stamp."""
+    from repro.perf.digest import DIGEST_VERSION
+    from repro.perf.transcache import STAMP_NAME, gc_disk_dir
+    from repro.resilience.integrity import QUARANTINE_DIRNAME
+    (tmp_path / STAMP_NAME).write_text("veal-perf-1\n")
+    _plant_entry(tmp_path, "dead1.pkl")
+    _plant_entry(tmp_path, "dead2.pkl")
+    _plant_entry(tmp_path, "orphan.pkl.tmp")  # crash evidence: kept
+    quarantine = tmp_path / QUARANTINE_DIRNAME
+    quarantine.mkdir()
+    _plant_entry(quarantine, "evidence.pkl")  # diagnostic: never touched
+
+    summary = gc_disk_dir(str(tmp_path))
+    assert summary["stale"] == 2
+    assert summary["evicted"] == 0
+    assert summary["bytes_freed"] == 128
+    assert not (tmp_path / "dead1.pkl").exists()
+    assert (tmp_path / "orphan.pkl.tmp").exists()
+    assert (quarantine / "evidence.pkl").exists()
+    assert (tmp_path / STAMP_NAME).read_text().strip() == DIGEST_VERSION
+    from repro.resilience.incidents import incident_log
+    incident = incident_log().incidents[-1]
+    assert incident.kind == "cache-gc"
+    # Idempotent: a second sweep finds a current stamp, nothing stale.
+    assert gc_disk_dir(str(tmp_path))["stale"] == 0
+
+
+def test_gc_adopts_unstamped_directories_without_sweeping(tmp_path):
+    """A pre-GC-era directory (no stamp) is adopted as-is: the stamp
+    is written but nothing is presumed stale."""
+    from repro.perf.digest import DIGEST_VERSION
+    from repro.perf.transcache import STAMP_NAME, gc_disk_dir
+    _plant_entry(tmp_path, "live.pkl")
+    summary = gc_disk_dir(str(tmp_path))
+    assert summary["stale"] == 0 and summary["evicted"] == 0
+    assert summary["kept"] == 1
+    assert (tmp_path / "live.pkl").exists()
+    assert (tmp_path / STAMP_NAME).read_text().strip() == DIGEST_VERSION
+
+
+def test_gc_enforces_size_budget_oldest_first(tmp_path):
+    from repro.perf.transcache import gc_disk_dir
+    _plant_entry(tmp_path, "oldest.pkl", size=100, mtime=100)
+    _plant_entry(tmp_path, "middle.pkl", size=100, mtime=200)
+    _plant_entry(tmp_path, "newest.pkl", size=100, mtime=300)
+    summary = gc_disk_dir(str(tmp_path), budget=150)
+    assert summary["evicted"] == 2
+    assert summary["kept"] == 1 and summary["kept_bytes"] == 100
+    assert not (tmp_path / "oldest.pkl").exists()
+    assert not (tmp_path / "middle.pkl").exists()
+    assert (tmp_path / "newest.pkl").exists()
+    # Under budget: a re-sweep removes nothing.
+    assert gc_disk_dir(str(tmp_path), budget=150)["evicted"] == 0
+
+
+def test_gc_budget_override_and_env(monkeypatch):
+    from repro.perf import transcache as tc
+    monkeypatch.setenv(tc.CACHE_BUDGET_ENV, "1024")
+    assert tc.effective_gc_budget() == 1024
+    monkeypatch.setenv(tc.CACHE_BUDGET_ENV, "bogus")
+    assert tc.effective_gc_budget() == tc.DEFAULT_GC_BUDGET
+    tc.set_gc_budget(2048)
+    try:
+        assert tc.effective_gc_budget() == 2048
+    finally:
+        tc.set_gc_budget(None)
+    assert tc.effective_gc_budget() == tc.DEFAULT_GC_BUDGET
+
+
+def test_attach_disk_runs_the_sweep_and_keeps_live_entries(tmp_path):
+    """attach_disk garbage-collects: stale files die at attach time,
+    while current-version entries written by a real translation
+    survive a detach/re-attach cycle."""
+    from repro.perf.transcache import STAMP_NAME, gc_disk_dir
+    (tmp_path / STAMP_NAME).write_text("veal-perf-1\n")
+    _plant_entry(tmp_path, "stranded.pkl")
+    cache = perf.translation_cache()
+    cache.attach_disk(str(tmp_path))
+    assert not (tmp_path / "stranded.pkl").exists()
+
+    loop = _suite_loop()
+    translate_loop(loop, PROPOSED_LA)
+    stored = [p for p in tmp_path.iterdir() if p.suffix == ".pkl"]
+    assert stored
+    cache.clear()
+    cache.attach_disk(str(tmp_path))  # "new process", same stamp
+    assert all(p.exists() for p in stored)
+    stats = cache.stats
+    translate_loop(loop, PROPOSED_LA)
+    assert stats.disk_hits >= 1
+    # The sweep itself never counted the live entry as removable.
+    assert gc_disk_dir(str(tmp_path))["stale"] == 0
+
+
 def test_engine_off_and_on_agree_on_meter_and_image():
     """Spot-check of the differential property the engine guarantees:
     the cached path is observationally the reference path."""
