@@ -70,6 +70,8 @@ from repro import obs, perf, workloads
 from repro.api import (
     Session,
     Settings,
+    benchmark,
+    compare,
     connect,
     figures,
     run_figure,
@@ -80,7 +82,7 @@ from repro.api import (
 )
 from repro.resilience.incidents import incident_log, record_incident
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ARM11", "CORTEX_A8", "GuardConfig", "GuardedExecutor", "INFINITE_LA",
@@ -88,11 +90,11 @@ __all__ = [
     "LoopBuilder", "Memory", "Opcode", "PROPOSED_LA", "QUAD_ISSUE",
     "ReproError", "ServiceError", "ServiceOverload", "Session",
     "Settings", "SettingsError", "TranslationError", "TranslationOptions",
-    "VMConfig", "VirtualMachine", "accelerator_area", "build_dfg",
-    "connect", "figures", "incident_log", "obs", "perf",
-    "record_incident",
+    "VMConfig", "VirtualMachine", "accelerator_area", "benchmark",
+    "build_dfg", "compare", "connect", "figures", "incident_log", "obs",
+    "perf", "record_incident",
     "run_figure", "run_loop", "run_suite", "service", "sweep",
-    "translate", "translate_loop", "workloads",
+    "translate", "translate_loop", "workloads", "xp",
 ]
 
 
@@ -103,4 +105,9 @@ def __getattr__(name: str):
     if name == "service":
         import repro.service as service
         return service
+    # The experiment manager is lazy for the same reason: plain library
+    # use should not pay for the measurement/aggregation stack.
+    if name == "xp":
+        import repro.xp as xp
+        return xp
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -53,6 +53,8 @@ RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
 ARTIFACT_ENV = "REPRO_ARTIFACT"
 CACHE_BUDGET_ENV = "REPRO_CACHE_BUDGET"
 JIT_CACHE_ENV = "REPRO_JIT_CACHE"
+BENCH_REPEAT_ENV = "REPRO_BENCH_REPEAT"
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
 
 
 def _default_accelerator() -> LAConfig:
@@ -114,6 +116,11 @@ class Settings:
     #: Max specialized kernels the JIT code cache keeps (None = the
     #: jit default, 256).
     jit_cache: Optional[int] = None
+    #: Repeats per ``xp run`` invocation (``--repeat`` wins over this).
+    bench_repeat: int = 1
+    #: Benchmark results root the run store, baselines and the legacy
+    #: reports all live under (None = ``benchmarks/results``).
+    bench_dir: Optional[str] = None
 
     @classmethod
     def from_env(cls, environ: Optional[Mapping[str, str]] = None, *,
@@ -130,7 +137,9 @@ class Settings:
                  retry_backoff_s: Optional[float | str] = None,
                  artifact_path: Optional[str] = None,
                  cache_budget: Optional[int | str] = None,
-                 jit_cache: Optional[int | str] = None
+                 jit_cache: Optional[int | str] = None,
+                 bench_repeat: Optional[int | str] = None,
+                 bench_dir: Optional[str] = None
                  ) -> "Settings":
         """Load settings from *environ* (default ``os.environ``).
 
@@ -162,6 +171,8 @@ class Settings:
             cache_budget = env.get(CACHE_BUDGET_ENV) or None
         if jit_cache is None:
             jit_cache = env.get(JIT_CACHE_ENV) or None
+        if bench_repeat is None:
+            bench_repeat = env.get(BENCH_REPEAT_ENV, 1)
         return cls(
             jobs=job_count,
             engine=engine_level,
@@ -188,6 +199,9 @@ class Settings:
             jit_cache=(None if jit_cache is None
                        else cls._parse_int(jit_cache, JIT_CACHE_ENV,
                                            minimum=1)),
+            bench_repeat=cls._parse_int(bench_repeat, BENCH_REPEAT_ENV,
+                                        minimum=1),
+            bench_dir=bench_dir or env.get(BENCH_DIR_ENV) or None,
         )
 
     @staticmethod
@@ -451,6 +465,81 @@ def connect(host: Optional[str] = None, port: Optional[int] = None,
         **client_kwargs)
 
 
+def _resolve_config(config, preset_name: Optional[str]):
+    """A ``repro.xp.Config`` from a Config, a name, or a preset name."""
+    from repro import xp
+    if config is not None and preset_name is not None:
+        raise SettingsError(
+            "pass either config= or preset=, not both",
+            name="config", value=str(preset_name))
+    if config is None:
+        return xp.preset(preset_name or xp.DEFAULT_PRESET)
+    if isinstance(config, str):
+        return xp.preset(config)
+    if not isinstance(config, xp.Config):
+        raise SettingsError(
+            f"config must be a repro.xp.Config or a preset name, "
+            f"got {type(config).__name__}",
+            name="config", value=str(config))
+    return config
+
+
+def benchmark(config=None, *, preset: Optional[str] = None,
+              repeat: Optional[int] = None,
+              directory: Optional[str] = None,
+              registry: Optional[dict] = None,
+              settings: Optional[Settings] = None,
+              progress: Optional[Callable[[str], None]] = None):
+    """Run one named experiment configuration through ``repro.xp``.
+
+    *config* is a :class:`repro.xp.Config` or a preset name (so is
+    *preset*; passing both is a :class:`SettingsError`, as is an
+    unknown name).  Returns the :class:`repro.xp.XpRun` whose
+    timestamped records just landed in the run store; call
+    ``.aggregate()`` on it for the median/IQR summary.
+    """
+    from repro import xp
+    resolved = _resolve_config(config, preset)
+    return xp.run_config(resolved, repeat=repeat, directory=directory,
+                         registry=registry, settings=settings,
+                         progress=progress)
+
+
+def compare(config=None, *, preset: Optional[str] = None,
+            baseline_path: Optional[str] = None,
+            directory: Optional[str] = None,
+            threshold: Optional[float] = None,
+            strict: bool = False,
+            settings: Optional[Settings] = None):
+    """Gate the latest recorded run of a configuration.
+
+    Aggregates the most recent ``xp run`` records for *config* (or
+    *preset*) from the run store and diffs them against the committed
+    baseline.  Returns a :class:`repro.xp.CompareResult`; ``.ok`` is
+    False on any regression — no records at all is itself a gating
+    problem, not a silent pass.
+    """
+    from repro import xp
+    resolved = _resolve_config(config, preset)
+    digest = xp.config_digest(resolved)
+    records = xp.latest_run_records(xp.load_records(
+        resolved.name, digest, directory, settings))
+    if not records:
+        result = xp.CompareResult(config_name=resolved.name)
+        result.problems.append(
+            f"no run records for config {resolved.name!r} (digest "
+            f"{digest[:8]}); run `python -m repro xp run "
+            f"--preset {resolved.name}` first")
+        return result
+    baseline = xp.load_baseline(resolved.name, directory,
+                                baseline_path, settings)
+    agg = xp.aggregate_records(records)
+    if threshold is None:
+        threshold = xp.DEFAULT_THRESHOLD
+    return xp.compare_aggregate(agg, baseline, threshold=threshold,
+                                strict=strict)
+
+
 def figures() -> dict[str, str]:
     """Figure name -> one-line description, for discovery."""
     from repro.experiments.figures import FIGURES
@@ -460,6 +549,7 @@ def figures() -> dict[str, str]:
 
 __all__ = [
     "Session", "Settings", "TranslationOptions", "TranslationResult",
-    "VMConfig", "connect", "figures", "fraction_of_infinite",
-    "run_figure", "run_loop", "run_suite", "sweep", "translate",
+    "VMConfig", "benchmark", "compare", "connect", "figures",
+    "fraction_of_infinite", "run_figure", "run_loop", "run_suite",
+    "sweep", "translate",
 ]

@@ -356,7 +356,50 @@ def main(argv: Optional[list[str]] = None) -> int:
     bench.add_argument("--compare", action="store_true",
                        help="regression gate: exit nonzero when a "
                             "figure's warm speedup drops >10%% below "
-                            "the committed report")
+                            "the committed report (deprecated: use "
+                            "`repro xp compare`)")
+    xp = sub.add_parser(
+        "xp",
+        help="experiment manager: named configs, timestamped run "
+             "records, median/IQR aggregation, regression gate")
+    xp.add_argument("action",
+                    choices=("run", "report", "compare", "baseline",
+                             "list"),
+                    help="run a config; report median/IQR over its "
+                         "records; compare the latest run against the "
+                         "committed baseline; write that baseline; or "
+                         "list presets")
+    xp.add_argument("--preset", "-p", default=None,
+                    help="named configuration (default 'default'; see "
+                         "`repro xp list`)")
+    xp.add_argument("--figures", default=None,
+                    help="override the preset's figure set (changes "
+                         "the config digest, so baselines won't match)")
+    xp.add_argument("--jobs", "-j", type=int, default=None,
+                    help="override the preset's sweep fan-out")
+    xp.add_argument("--repeat", "-n", type=int, default=None,
+                    help="repeats per run (default: REPRO_BENCH_REPEAT "
+                         "or 1)")
+    xp.add_argument("--dir", default=None,
+                    help="results root holding runs/ and baselines/ "
+                         "(default: REPRO_BENCH_DIR or "
+                         "benchmarks/results)")
+    xp.add_argument("--baseline-path", default=None,
+                    help="explicit baseline file (default "
+                         "<dir>/baselines/<config>.json)")
+    xp.add_argument("--threshold", type=float, default=None,
+                    help="relative regression threshold for compare "
+                         "(default 0.10)")
+    xp.add_argument("--strict", action="store_true",
+                    help="compare: a missing baseline is a failure, "
+                         "not a warning")
+    xp.add_argument("--all", action="store_true", dest="all_records",
+                    help="report: aggregate every stored record for "
+                         "the config, not just the latest run")
+    xp.add_argument("--summary", action="store_true",
+                    help="run: regenerate the legacy "
+                         "BENCH_experiments.json as a summary of this "
+                         "run (figures configs only)")
     trace = sub.add_parser("trace",
                            help="run one figure with span tracing on and "
                                 "write a JSONL trace file")
@@ -546,6 +589,8 @@ def main(argv: Optional[list[str]] = None) -> int:
               f"translation artifacts")
         print(f"  {'cache'.ljust(width)}  disk translation-cache "
               f"maintenance (gc)")
+        print(f"  {'xp'.ljust(width)}  experiment manager "
+              f"(run/report/compare/baseline/list)")
         return 0
     if args.command == "kernels":
         print(cmd_kernels())
@@ -589,7 +634,10 @@ def main(argv: Optional[list[str]] = None) -> int:
             run_bench,
             write_report,
         )
-        output = args.output or DEFAULT_OUTPUT
+        from repro.xp.store import results_dir
+        output = args.output or (
+            os.path.join(results_dir(), "BENCH_experiments.json")
+            if os.environ.get("REPRO_BENCH_DIR") else DEFAULT_OUTPUT)
         # The committed report is the --compare baseline; read it
         # before write_report overwrites it with this run.
         baseline = load_baseline(output) if args.compare else None
@@ -612,6 +660,72 @@ def main(argv: Optional[list[str]] = None) -> int:
             if problems:
                 return 1
         return 0 if report.all_identical else 1
+    if args.command == "xp":
+        from repro import xp as xpm
+        say = (lambda msg: print(f"... {msg}", file=sys.stderr))
+        if args.action == "list":
+            width = max(len(n) for n in xpm.PRESETS)
+            for name, config in sorted(xpm.PRESETS.items()):
+                print(f"  {name.ljust(width)}  [{config.kind}] "
+                      f"{config.description}")
+            return 0
+        try:
+            config = xpm.preset(args.preset or xpm.DEFAULT_PRESET)
+            overrides = {}
+            if args.figures:
+                overrides["figures"] = tuple(args.figures.split(","))
+            if args.jobs is not None:
+                overrides["jobs"] = args.jobs
+            if overrides:
+                config = config.with_(**overrides)
+            if args.action == "run":
+                run = xpm.run_config(config, repeat=args.repeat,
+                                     directory=args.dir, progress=say)
+                agg = run.aggregate()
+                print(xpm.format_aggregate(agg))
+                print(f"{len(run.records)} record(s) -> {run.path}")
+                if args.summary and config.kind == "figures":
+                    path = xpm.write_experiments_summary(
+                        run.records, directory=args.dir)
+                    print(f"legacy summary written to {path}")
+                return 0 if agg.all_ok else 1
+            records = xpm.load_records(config.name,
+                                       xpm.config_digest(config),
+                                       directory=args.dir)
+            if not getattr(args, "all_records", False):
+                records = xpm.latest_run_records(records)
+            if args.action == "report":
+                if not records:
+                    print(f"no run records for config {config.name!r}; "
+                          f"run `repro xp run --preset {config.name}` "
+                          f"first", file=sys.stderr)
+                    return 1
+                print(xpm.format_aggregate(
+                    xpm.aggregate_records(records)))
+                return 0
+            if args.action == "baseline":
+                if not records:
+                    print(f"no run records for config {config.name!r}; "
+                          f"run `repro xp run --preset {config.name}` "
+                          f"first", file=sys.stderr)
+                    return 1
+                path = xpm.write_baseline(
+                    xpm.aggregate_records(records),
+                    path=args.baseline_path, directory=args.dir)
+                print(f"baseline written to {path}")
+                return 0
+            # compare
+            from repro.api import compare as api_compare
+            result = api_compare(config=config,
+                                 baseline_path=args.baseline_path,
+                                 directory=args.dir,
+                                 threshold=args.threshold,
+                                 strict=args.strict)
+            print(result.format())
+            return 0 if result.ok else 1
+        except SettingsError as exc:
+            print(f"error: [{exc.kind}] {exc}", file=sys.stderr)
+            return 2
     if args.command == "trace":
         from repro import obs
         path = args.output or os.path.join(
@@ -799,7 +913,11 @@ def main(argv: Optional[list[str]] = None) -> int:
             run_kernel_count=args.runs or DEFAULT_RUN_KERNELS,
             shard_counts=shard_counts,
             progress=lambda msg: print(f"... {msg}", file=sys.stderr))
-        path = write_report(report, args.output or DEFAULT_OUTPUT)
+        from repro.xp.store import results_dir
+        output = args.output or (
+            os.path.join(results_dir(), "BENCH_service.json")
+            if os.environ.get("REPRO_BENCH_DIR") else DEFAULT_OUTPUT)
+        path = write_report(report, output)
         print(format_loadgen(report))
         print(f"report written to {path}")
         return 0 if report.ok else 1

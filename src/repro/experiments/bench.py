@@ -32,20 +32,14 @@ from __future__ import annotations
 import json
 import os
 import platform
-import time
 from dataclasses import asdict, dataclass
 from typing import Callable, Optional
 
 from repro import obs, perf
-
-#: The Figure 3/4 design-space sweeps — the acceptance target
-#: (>= 3x end-to-end vs. the reference serial path) aggregates these.
-SWEEP_FIGURES = ("fig3a", "fig3b", "fig4a", "fig4b")
-
-#: What ``bench`` runs by default: the sweeps plus the hot figure the
-#: specialization tier targets (the only one driving the overlapped
-#: pipeline executor).
-DEFAULT_BENCH_FIGURES = SWEEP_FIGURES + ("utilization",)
+# The canonical figure-set constants live with the experiment manager;
+# these re-exports keep the historical import paths working.
+from repro.xp.config import DEFAULT_FIGURES as DEFAULT_BENCH_FIGURES
+from repro.xp.config import SWEEP_FIGURES
 
 DEFAULT_OUTPUT = os.path.join("benchmarks", "results",
                               "BENCH_experiments.json")
@@ -105,39 +99,15 @@ class BenchReport:
 
 
 def _figure_registry() -> dict[str, Callable[[], str]]:
-    from repro.cli import FIGURES
-    return {name: fn for name, (_desc, fn) in FIGURES.items()
-            if name != "all"}
+    from repro.experiments.figures import benchable_figures
+    return benchable_figures()
 
 
 def _baseline_references(path: str = DEFAULT_OUTPUT) -> dict[str, float]:
-    """Measured reference wall clocks from the last committed report.
-
-    ``--skip-reference`` used to leave ``speedup: null``; instead the
-    engine passes are compared against the baseline's *measured*
-    reference times (never against another baseline-sourced number, so
-    stale chains cannot form).  Missing/unreadable report: empty dict.
-    """
-    try:
-        with open(path) as handle:
-            payload = json.load(handle)
-        return {
-            f["name"]: float(f["reference_s"])
-            for f in payload.get("figures", [])
-            if f.get("reference_s") is not None
-            and f.get("reference_source", "measured") == "measured"
-        }
-    except (OSError, ValueError, KeyError, TypeError):
-        return {}
-
-
-def _timed(fn: Callable[[], str], name: str = "",
-           mode: str = "") -> tuple[float, str]:
-    with obs.span("bench_figure", component="bench", figure=name,
-                  mode=mode):
-        started = time.perf_counter()
-        text = fn()
-        return time.perf_counter() - started, text
+    """Measured reference wall clocks from the last committed report
+    (now :func:`repro.xp.runner.baseline_references`)."""
+    from repro.xp.runner import baseline_references
+    return baseline_references(path)
 
 
 def run_bench(figures: Optional[list[str]] = None,
@@ -146,100 +116,26 @@ def run_bench(figures: Optional[list[str]] = None,
               disk_cache: bool = False,
               progress: Optional[Callable[[str], None]] = None
               ) -> BenchReport:
-    """Benchmark *figures* (default: sweeps + the utilization figure)."""
-    registry = _figure_registry()
+    """Benchmark *figures* (default: sweeps + the utilization figure).
+
+    .. deprecated::
+        A compatibility shim over :func:`repro.xp.runner.measure_figures`
+        — the engine-tier pass structure, the row fields, and the
+        report are unchanged, but new code should drive measurements
+        through ``python -m repro xp run`` / :func:`repro.api.benchmark`
+        so every number lands in the provenance-stamped run store.
+    """
+    from repro.deprecation import warn_once
+    from repro.xp.runner import measure_figures
+    warn_once("repro.experiments.bench",
+              "repro.xp (python -m repro xp run|report|compare)")
     names = list(figures) if figures else list(DEFAULT_BENCH_FIGURES)
-    unknown = [n for n in names if n not in registry]
-    if unknown:
-        raise KeyError(f"unknown figures: {', '.join(unknown)}; "
-                       f"available: {', '.join(sorted(registry))}")
-    if jobs is not None:
-        perf.set_jobs(jobs)
-    effective_jobs = perf.get_jobs()
-
-    def note(msg: str) -> None:
-        if progress is not None:
-            progress(msg)
-
-    # Each pass runs the whole figure list end to end; caches are
-    # cleared once at the start of a pass, not between figures.  Both
-    # pipelines amortise within their own pass the way a real
-    # ``python -m repro all`` invocation would (the pre-engine path,
-    # too, shared its baseline-runs cache across figures in-process),
-    # so per-figure speedups are an honest like-for-like comparison.
-    reference_times: dict[str, float] = {}
-    reference_texts: dict[str, str] = {}
-    baseline_refs: dict[str, float] = {}
-    if skip_reference:
-        baseline_refs = _baseline_references()
-    if not skip_reference:
-        perf.clear_caches()
-        previous_jobs = perf.get_jobs()
-        perf.set_jobs(1)
-        try:
-            with perf.engine_at(0):
-                for name in names:
-                    note(f"{name}: reference (engine off, serial)")
-                    reference_times[name], reference_texts[name] = \
-                        _timed(registry[name], name, "reference")
-        finally:
-            perf.set_jobs(previous_jobs)
-
-    perf.clear_caches()
-    if disk_cache:
-        perf.enable_disk_cache()
-    engine_times: dict[str, float] = {}
-    engine_texts: dict[str, str] = {}
-    warm_times: dict[str, float] = {}
-    warm_texts: dict[str, str] = {}
-    with perf.engine_at(1):
-        for name in names:
-            note(f"{name}: engine cold ({effective_jobs} jobs)")
-            engine_times[name], engine_texts[name] = \
-                _timed(registry[name], name, "cold")
-        for name in names:
-            note(f"{name}: engine warm")
-            warm_times[name], warm_texts[name] = \
-                _timed(registry[name], name, "warm")
-
-    specialized_times: dict[str, float] = {}
-    specialized_texts: dict[str, str] = {}
-    with perf.engine_at(2):
-        for name in names:
-            # One untimed regeneration populates the specialized code
-            # cache; the timed run is the tier's steady-state cost.
-            note(f"{name}: specialized warm-up + timed")
-            registry[name]()
-            specialized_times[name], specialized_texts[name] = \
-                _timed(registry[name], name, "specialized")
-
-    results: list[FigureBench] = []
-    for name in names:
-        reference_s = reference_times.get(name)
-        source = "measured" if reference_s is not None else None
-        if reference_s is None and name in baseline_refs:
-            reference_s = baseline_refs[name]
-            source = "baseline"
-        engine_s = engine_times[name]
-        warm_s = warm_times[name]
-        specialized_s = specialized_times[name]
-        texts = [t for t in (reference_texts.get(name),
-                             engine_texts[name], warm_texts[name],
-                             specialized_texts[name])
-                 if t is not None]
-        identical = all(t == texts[0] for t in texts)
-
-        def ratio(denominator: Optional[float]) -> Optional[float]:
-            if reference_s is None or not denominator:
-                return None
-            return reference_s / denominator
-
-        results.append(FigureBench(
-            name=name, reference_s=reference_s, engine_s=engine_s,
-            warm_s=warm_s, specialized_s=specialized_s,
-            speedup_cold=ratio(engine_s), speedup_warm=ratio(warm_s),
-            speedup_specialized=ratio(specialized_s),
-            identical=identical, reference_source=source))
+    baseline_refs = _baseline_references() if skip_reference else None
+    rows, effective_jobs = measure_figures(
+        names, jobs=jobs, skip_reference=skip_reference,
+        disk_cache=disk_cache, registry=_figure_registry(),
+        baseline_refs=baseline_refs, progress=progress)
+    results = [FigureBench(**row) for row in rows]
 
     swept = [f for f in results if f.name in SWEEP_FIGURES]
     sweep_ref = (sum(f.reference_s for f in swept)
@@ -389,27 +285,14 @@ def compare_report(report: BenchReport, baseline: Optional[dict],
     with no reference at all), are skipped — the gate compares only
     what both runs actually measured.  Identity failures are always
     regressions, whatever the timings say.
+
+    .. deprecated::
+        A shim over :func:`repro.xp.compare.legacy_compare_report`;
+        the generalized gate (latency percentiles, service configs,
+        machine-stamp awareness) is ``python -m repro xp compare``.
     """
-    problems: list[str] = []
-    for f in report.figures:
-        if not f.identical:
-            problems.append(f"{f.name}: figure text not identical "
-                            f"across engine tiers")
-    if baseline is None:
-        return problems
-    baseline_warm = {
-        f["name"]: float(f["speedup_warm"])
-        for f in baseline.get("figures", [])
-        if isinstance(f, dict) and f.get("speedup_warm") is not None
-    }
-    for f in report.figures:
-        base = baseline_warm.get(f.name)
-        if base is None or f.speedup_warm is None or base <= 0:
-            continue
-        if f.speedup_warm < base * (1.0 - threshold):
-            problems.append(
-                f"{f.name}: warm speedup {f.speedup_warm:.2f}x is "
-                f"{(1.0 - f.speedup_warm / base):.0%} below the "
-                f"committed baseline's {base:.2f}x "
-                f"(threshold {threshold:.0%})")
-    return problems
+    from repro.deprecation import warn_once
+    from repro.xp.compare import legacy_compare_report
+    warn_once("repro.experiments.bench",
+              "repro.xp (python -m repro xp run|report|compare)")
+    return legacy_compare_report(report, baseline, threshold)

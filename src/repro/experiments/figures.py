@@ -155,3 +155,12 @@ def _all() -> str:
     from repro.experiments.report import full_report
     return full_report(progress=lambda title: print(f"... {title}",
                                                     file=sys.stderr))
+
+
+def benchable_figures() -> dict[str, Callable[[], str]]:
+    """The figures a benchmark run may time: every registered figure
+    except the ``all`` meta-entry (it is a report over the others, not
+    a design point).  The one registry — a figure registered above is
+    automatically benchable."""
+    return {name: fn for name, (_description, fn) in FIGURES.items()
+            if name != "all"}

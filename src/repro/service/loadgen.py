@@ -988,3 +988,51 @@ def format_loadgen(report: LoadgenReport) -> str:
                      "only")
     lines.append(f"overall: {'OK' if report.ok else 'FAILED'}")
     return "\n".join(lines)
+
+
+def measure_service(workers=(), shards=(), clients: int = DEFAULT_CLIENTS,
+                    run_kernel_count: int = DEFAULT_RUN_KERNELS,
+                    queue_depth: int = 64,
+                    progress: Optional[Callable[[str], None]] = None
+                    ) -> list[dict]:
+    """The series driver for ``kind="service"`` experiment configs.
+
+    Runs the worker-pool series (*workers*) and/or the sharded-cluster
+    series (*shards*) and yields one row dict per point with the gated
+    metrics (throughput, latency percentiles) plus an ``ok`` verdict —
+    drained/complete for the pool, converged/orphan-free for the
+    cluster.  The full probe battery (failover, AOT, saturation, ...)
+    stays with :func:`run_loadgen`; this is the repeatable measurement
+    core the ``repro.xp`` run store records.
+    """
+    corpus = request_corpus()
+    heavy = run_kernels(run_kernel_count) if workers else []
+    say = progress or (lambda _msg: None)
+    rows: list[dict] = []
+    for count in workers or ():
+        say(f"service: {clients} clients x {len(corpus)} translates "
+            f"+ {len(heavy)} runs, workers={count}")
+        run = _one_run(count, corpus, heavy, clients, queue_depth)
+        rows.append({
+            "name": f"workers={count}",
+            "elapsed_s": round(run.elapsed_s, 6),
+            "throughput_rps": round(run.throughput_rps, 3),
+            "p50_ms": run.p50_ms,
+            "p95_ms": run.p95_ms,
+            "p99_ms": run.p99_ms,
+            "ok": run.drained and run.completed == run.requests,
+        })
+    for count in shards or ():
+        say(f"service: cluster series, shards={count}")
+        run = _one_cluster_run(count, corpus, clients)
+        rows.append({
+            "name": f"shards={count}",
+            "elapsed_s": round(run.elapsed_s, 6),
+            "throughput_rps": round(run.throughput_rps, 3),
+            "p50_ms": run.p50_ms,
+            "p95_ms": run.p95_ms,
+            "p99_ms": run.p99_ms,
+            "ok": (run.completed == run.requests and run.converged
+                   and run.orphans == 0),
+        })
+    return rows

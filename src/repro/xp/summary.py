@@ -1,0 +1,119 @@
+"""Generate the legacy committed summaries from the run store.
+
+``BENCH_experiments.json`` used to be whatever the last ``bench``
+invocation overwrote it with; now it is a *generated summary* of run
+records — medians across the repeats of one recorded run, in the
+historical schema (so every reader of the committed file keeps
+working) plus a ``provenance`` block naming the run, config digest,
+git SHA and machine the numbers actually came from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.xp import store
+from repro.xp.aggregate import quantile
+from repro.xp.config import SWEEP_FIGURES
+
+EXPERIMENTS_SUMMARY = "BENCH_experiments.json"
+
+
+def _median(values: list) -> Optional[float]:
+    samples = [float(v) for v in values if v is not None]
+    return quantile(samples, 0.5) if samples else None
+
+
+def experiments_summary(records: list[dict]) -> dict:
+    """The legacy ``BENCH_experiments.json`` payload from *records*
+    (the repeats of one figures-kind run), medians per metric."""
+    if not records:
+        raise ValueError("no records to summarise")
+    last = records[-1]
+    names = [row["name"] for row in last.get("rows", [])]
+    by_name: dict[str, list[dict]] = {name: [] for name in names}
+    for record in records:
+        for row in record.get("rows", []):
+            if row.get("name") in by_name:
+                by_name[row["name"]].append(row)
+    figures = []
+    for name in names:
+        rows = by_name[name]
+        figures.append({
+            "name": name,
+            "reference_s": _median([r.get("reference_s") for r in rows]),
+            "engine_s": _median([r.get("engine_s") for r in rows]),
+            "warm_s": _median([r.get("warm_s") for r in rows]),
+            "specialized_s": _median([r.get("specialized_s")
+                                      for r in rows]),
+            "speedup_cold": _median([r.get("speedup_cold") for r in rows]),
+            "speedup_warm": _median([r.get("speedup_warm") for r in rows]),
+            "speedup_specialized": _median([r.get("speedup_specialized")
+                                            for r in rows]),
+            "identical": all(r.get("identical", False) for r in rows),
+            "reference_source": rows[-1].get("reference_source"),
+        })
+    swept = [f for f in figures if f["name"] in SWEEP_FIGURES]
+
+    def sweep_sum(metric: str) -> Optional[float]:
+        if not swept or any(f[metric] is None for f in swept):
+            return None
+        return sum(f[metric] for f in swept)
+
+    sweep_ref = sweep_sum("reference_s")
+    sweep_eng = sweep_sum("engine_s")
+    sweep_warm = sweep_sum("warm_s")
+    config = last.get("config") or {}
+    return {
+        "figures": figures,
+        "sweep": {
+            "figures": [f["name"] for f in swept],
+            "reference_s": sweep_ref,
+            "engine_s": sweep_eng,
+            "warm_s": sweep_warm,
+            "speedup": (sweep_ref / sweep_eng
+                        if sweep_ref is not None and sweep_eng else None),
+            "speedup_warm": (sweep_ref / sweep_warm
+                             if sweep_ref is not None and sweep_warm
+                             else None),
+            "reference_source": (
+                "baseline" if any(f["reference_source"] == "baseline"
+                                  for f in figures)
+                else "measured" if any(
+                    f["reference_source"] == "measured" for f in figures)
+                else None),
+        },
+        "all_identical": all(f["identical"] for f in figures),
+        "jobs": last.get("jobs", config.get("jobs", 1)),
+        "disk_cache": config.get("cache") == "disk",
+        "cache_stats": last.get("cache_stats", {}),
+        "machine": last.get("machine", {}),
+        "metrics": {},
+        "provenance": {
+            "schema": store.RECORD_SCHEMA,
+            "run_id": last.get("run_id"),
+            "records": len(records),
+            "config_name": last.get("config_name"),
+            "config_digest": last.get("config_digest"),
+            "git_sha": last.get("git_sha"),
+            "started_utc": records[0].get("started_utc"),
+        },
+    }
+
+
+def write_experiments_summary(records: list[dict],
+                              path: Optional[str] = None,
+                              directory: Optional[str] = None,
+                              settings=None) -> str:
+    """Write the generated legacy summary; returns the path written."""
+    target = path or os.path.join(
+        directory or store.results_dir(settings), EXPERIMENTS_SUMMARY)
+    parent = os.path.dirname(target)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(target, "w") as handle:
+        json.dump(experiments_summary(records), handle, indent=2)
+        handle.write("\n")
+    return target
